@@ -1,0 +1,32 @@
+# Convenience targets for the SUPReMM reproduction.
+GO ?= go
+
+.PHONY: all build test vet bench figures dashboard clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark pass: regenerates every table/figure headline metric.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Render every paper figure as text plus vector/HTML artifacts.
+figures:
+	$(GO) run ./cmd/supremm -days 30 -nodes 128 -svg out/figs -html out/dashboard.html | tee out/figures.txt
+
+# The full-fidelity pipeline end to end into ./out/pipeline.
+pipeline:
+	$(GO) run ./cmd/simulate -cluster ranger -nodes 16 -days 3 -out out/pipeline -raw
+	$(GO) run ./cmd/ingest -raw out/pipeline/raw -acct out/pipeline/accounting.log -out out/pipeline
+	$(GO) run ./cmd/xdmod -data out/pipeline -report system
+
+clean:
+	rm -rf out

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"supremm/internal/cluster"
+	"supremm/internal/sched"
+	"supremm/internal/sim"
+	"supremm/internal/store"
+)
+
+func TestIngestCommandEndToEnd(t *testing.T) {
+	work := t.TempDir()
+	rawDir := filepath.Join(work, "raw")
+	cc := cluster.RangerConfig().Scaled(6)
+	cfg := sim.DefaultConfig(cc, 41)
+	cfg.DurationMin = 2 * 24 * 60
+	cfg.Shutdowns = nil
+	cfg.NodeMTBFHours = 0
+	cfg.Gen.UtilizationTarget = 2
+	cfg.RawDir = rawDir
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acctPath := filepath.Join(work, "accounting.log")
+	af, err := os.Create(acctPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.WriteAcct(af, res.Acct); err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+
+	out := filepath.Join(work, "out")
+	if err := run(rawDir, acctPath, out); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.Open(filepath.Join(out, "jobs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	st, err := store.Load(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != res.Store.Len() {
+		t.Errorf("ingested %d jobs, sim had %d", st.Len(), res.Store.Len())
+	}
+	sf, err := os.Open(filepath.Join(out, "series.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	series, err := store.LoadSeries(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) == 0 {
+		t.Error("empty series")
+	}
+}
+
+func TestIngestCommandErrors(t *testing.T) {
+	if err := run("/nonexistent", "/nonexistent", t.TempDir()); err == nil {
+		t.Error("missing inputs should error")
+	}
+	// Valid raw dir but bad accounting file.
+	bad := filepath.Join(t.TempDir(), "acct")
+	if err := os.WriteFile(bad, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t.TempDir(), bad, t.TempDir()); err == nil {
+		t.Error("corrupt accounting should error")
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"supremm/internal/sched"
+	"supremm/internal/store"
+)
+
+func TestRunWritesAllArtefacts(t *testing.T) {
+	out := t.TempDir()
+	if err := run("ranger", 8, 1, 3, out, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"accounting.log", "events.log", "lariat.jsonl", "jobs.jsonl", "series.jsonl"} {
+		if _, err := os.Stat(filepath.Join(out, name)); err != nil {
+			t.Errorf("missing artefact %s: %v", name, err)
+		}
+	}
+	// The artefacts parse.
+	af, err := os.Open(filepath.Join(out, "accounting.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Close()
+	acct, err := sched.ReadAcct(af)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acct) == 0 {
+		t.Error("empty accounting")
+	}
+	jf, err := os.Open(filepath.Join(out, "jobs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	st, err := store.Load(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() == 0 {
+		t.Error("empty store")
+	}
+}
+
+func TestRunRawMode(t *testing.T) {
+	out := t.TempDir()
+	if err := run("lonestar4", 4, 1, 5, out, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := os.ReadDir(filepath.Join(out, "raw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 4 {
+		t.Errorf("raw host dirs = %d", len(hosts))
+	}
+}
+
+func TestRunSWFExportAndReplay(t *testing.T) {
+	out := t.TempDir()
+	swf := filepath.Join(out, "trace.swf")
+	if err := run("ranger", 8, 2, 3, out, false, swf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(swf); err != nil {
+		t.Fatal("swf trace not written")
+	}
+	// Replay the exported trace into a second run.
+	out2 := t.TempDir()
+	if err := run("ranger", 8, 2, 3, out2, false, "", swf); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.Open(filepath.Join(out2, "jobs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	st, err := store.Load(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() == 0 {
+		t.Error("replay produced no job records")
+	}
+}
+
+func TestRunRejectsUnknownCluster(t *testing.T) {
+	if err := run("bluewaters", 4, 1, 5, t.TempDir(), false, "", ""); err == nil {
+		t.Error("unknown cluster should error")
+	}
+}

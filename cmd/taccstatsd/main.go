@@ -1,0 +1,114 @@
+// Command taccstatsd demonstrates the monitor agent in isolation: it
+// runs a single simulated node executing one job and writes the raw
+// TACC_Stats format to stdout (or a file) in accelerated time — the §3
+// data-collection story without the rest of the pipeline.
+//
+//	taccstatsd -job 12345 -samples 12 -cluster ranger
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"supremm/internal/cluster"
+	"supremm/internal/procfs"
+	"supremm/internal/taccstats"
+	"supremm/internal/workload"
+)
+
+func main() {
+	var (
+		clusterFl = flag.String("cluster", "ranger", "preset cluster (ranger|lonestar4)")
+		app       = flag.String("app", "namd", "application archetype")
+		jobID     = flag.Int64("job", 12345, "job id for the begin/end marks")
+		samples   = flag.Int("samples", 12, "periodic samples between job begin and end")
+		out       = flag.String("out", "-", "output file ('-' for stdout)")
+		seed      = flag.Int64("seed", 42, "job behaviour seed")
+	)
+	flag.Parse()
+	if err := run(*clusterFl, *app, *jobID, *samples, *out, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "taccstatsd:", err)
+		os.Exit(1)
+	}
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+func run(clusterName, appName string, jobID int64, samples int, out string, seed int64) error {
+	var cc cluster.Config
+	switch clusterName {
+	case "ranger":
+		cc = cluster.RangerConfig()
+	case "lonestar4":
+		cc = cluster.Lonestar4Config()
+	default:
+		return fmt.Errorf("unknown cluster %q", clusterName)
+	}
+	apps := workload.DefaultApps()
+	a := workload.AppByName(apps, appName)
+	if a == nil {
+		return fmt.Errorf("unknown app %q", appName)
+	}
+
+	var sink io.WriteCloser = nopCloser{os.Stdout}
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		sink = f
+	}
+	snap := procfs.NewNodeSnapshot(cc, "c000-000."+cc.Name)
+	snap.Time = 1306886400
+	mon := taccstats.NewMonitor(snap, cc.Arch, func(day int) (io.WriteCloser, error) { return sink, nil })
+
+	j := &workload.Job{
+		ID: jobID, User: &workload.User{Name: "demo", Science: workload.Physics},
+		App: a, Nodes: 1, RuntimeMin: float64(samples) * 10,
+		IdleMul: 1, FlopsMul: 1, MemMul: 1, IOMul: 1, NetMul: 1, Seed: seed,
+	}
+	b := workload.NewBehavior(j, cc.Name, cc.CoresPerNode(), cc.MemPerNodeGB)
+
+	if err := mon.BeginJob(jobID); err != nil {
+		return err
+	}
+	for i := 0; i < samples; i++ {
+		u := b.Step(10)
+		applyUsage(snap, cc, u)
+		snap.Time += 600
+		if err := mon.Sample(); err != nil {
+			return err
+		}
+	}
+	if err := mon.EndJob(jobID); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "taccstatsd: wrote %d samples, %d bytes\n", mon.Samples(), mon.TotalBytes())
+	return mon.Close()
+}
+
+// applyUsage maps one interval's usage onto the node snapshot; a compact
+// version of the sim engine's counter mapping for a single node.
+func applyUsage(snap *procfs.Snapshot, cc cluster.Config, u workload.NodeUsage) {
+	dtCS := 600.0 * 100
+	for c := 0; c < cc.CoresPerNode(); c++ {
+		dev := fmt.Sprintf("%d", c)
+		snap.Add(procfs.TypeCPU, dev, "user", uint64(u.UserFrac*dtCS))
+		snap.Add(procfs.TypeCPU, dev, "system", uint64(u.SysFrac*dtCS))
+		snap.Add(procfs.TypeCPU, dev, "idle", uint64(u.IdleFrac*dtCS))
+		snap.Add(procfs.TypeCPU, dev, "iowait", uint64(u.IowaitFrac*dtCS))
+		snap.Add(procfs.PMCType(cc.Arch), dev, "FLOPS", uint64(u.Flops/float64(cc.CoresPerNode())))
+	}
+	for s := 0; s < cc.SocketsPerNode; s++ {
+		snap.Set(procfs.TypeMem, fmt.Sprintf("%d", s), "MemUsed", u.MemUsedKB/uint64(cc.SocketsPerNode))
+	}
+	snap.Add(procfs.TypeIB, "mlx4_0.1", "tx_bytes", uint64(u.IBTxB))
+	snap.Add(procfs.TypeIB, "mlx4_0.1", "rx_bytes", uint64(u.IBRxB))
+	snap.Add(procfs.TypeLlite, "scratch", "write_bytes", uint64(u.ScratchWriteB))
+	snap.Add(procfs.TypeLlite, "work", "write_bytes", uint64(u.WorkWriteB))
+	snap.Add(procfs.TypeLnet, "-", "tx_bytes", uint64(u.LnetTxB))
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"supremm/internal/taccstats"
+)
+
+func TestDaemonWritesParseableOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "node.raw")
+	if err := run("ranger", "wrf", 777, 6, out, 9); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	parsed, err := taccstats.ParseFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// begin + 6 samples + end.
+	if len(parsed.Records) != 8 {
+		t.Errorf("records = %d, want 8", len(parsed.Records))
+	}
+	if parsed.Records[0].Mark != "begin" || parsed.Records[0].JobID != 777 {
+		t.Errorf("begin mark: %+v", parsed.Records[0])
+	}
+	if parsed.Records[7].Mark != "end" {
+		t.Errorf("end mark: %+v", parsed.Records[7])
+	}
+	if parsed.Arch != "amd64_opteron" {
+		t.Errorf("arch = %q", parsed.Arch)
+	}
+}
+
+func TestDaemonLonestar(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ls4.raw")
+	if err := run("lonestar4", "gromacs", 1, 2, out, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	parsed, err := taccstats.ParseFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Arch != "intel_westmere" {
+		t.Errorf("arch = %q", parsed.Arch)
+	}
+	if _, ok := parsed.Schemas["intel_pmc"]; !ok {
+		t.Error("missing intel_pmc schema")
+	}
+}
+
+func TestDaemonErrors(t *testing.T) {
+	if err := run("cray", "wrf", 1, 2, "-", 1); err == nil {
+		t.Error("unknown cluster should error")
+	}
+	if err := run("ranger", "doom", 1, 2, "-", 1); err == nil {
+		t.Error("unknown app should error")
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"supremm/internal/cluster"
+	"supremm/internal/sim"
+	"supremm/internal/store"
+)
+
+// writeData materializes a small simulated dataset in dir.
+func writeData(t *testing.T, dir string) {
+	t.Helper()
+	cc := cluster.RangerConfig().Scaled(12)
+	cfg := sim.DefaultConfig(cc, 31)
+	cfg.DurationMin = 5 * 24 * 60
+	cfg.Shutdowns = nil
+	cfg.NodeMTBFHours = 0
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.Create(dir + "/jobs.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	if err := res.Store.Save(jf); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := os.Create(dir + "/series.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	if err := store.SaveSeries(sf, res.Series); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRealmInfersShape(t *testing.T) {
+	dir := t.TempDir()
+	writeData(t, dir)
+	r, err := loadRealm(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cluster != "ranger" {
+		t.Errorf("cluster = %q", r.Cluster)
+	}
+	if r.CoresPerNode != 16 || r.MemPerNodeGB != 32 {
+		t.Errorf("shape = %d cores / %v GB", r.CoresPerNode, r.MemPerNodeGB)
+	}
+	// Node count inferred from the series peak, so the peak-TF scale is
+	// the scaled machine's, not full Ranger's.
+	full := cluster.RangerConfig().PeakTFlops()
+	if r.PeakTFlops >= full/2 {
+		t.Errorf("peak = %v TF, want scaled-down", r.PeakTFlops)
+	}
+}
+
+func TestAllReports(t *testing.T) {
+	dir := t.TempDir()
+	writeData(t, dir)
+	for _, rep := range []string{"users", "apps", "efficiency", "persistence", "system", "failures", "trends", "workload", "forecast"} {
+		if err := run(dir, rep, 3); err != nil {
+			t.Errorf("report %s: %v", rep, err)
+		}
+	}
+	if err := run(dir, "bogus", 3); err == nil {
+		t.Error("unknown report should error")
+	}
+	// The waits report needs the accounting log, which writeData does
+	// not produce.
+	if err := run(dir, "waits", 3); err == nil {
+		t.Error("waits without accounting.log should error")
+	}
+	if err := run(t.TempDir(), "users", 3); err == nil {
+		t.Error("missing data dir should error")
+	}
+}
+
+func TestRunSuiteCommand(t *testing.T) {
+	dir := t.TempDir()
+	writeData(t, dir)
+	for _, who := range []string{"user", "developer", "support", "admin", "manager", "funding"} {
+		if err := runSuite(dir, who); err != nil {
+			t.Errorf("suite %s: %v", who, err)
+		}
+	}
+	if err := runSuite(dir, "alien"); err == nil {
+		t.Error("unknown stakeholder should error")
+	}
+	if err := runSuite(t.TempDir(), "user"); err == nil {
+		t.Error("missing data should error")
+	}
+}
+
+func TestRunQueryCommand(t *testing.T) {
+	dir := t.TempDir()
+	writeData(t, dir)
+	if err := runQuery(dir, "group=app metrics=cpu_idle limit=3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery(dir, "group=bogus"); err == nil {
+		t.Error("bad query should error")
+	}
+	if err := runQuery(t.TempDir(), "group=app"); err == nil {
+		t.Error("missing data should error")
+	}
+}

@@ -1,0 +1,31 @@
+// Package supremm is a from-scratch Go reproduction of the SC13 paper
+// "Enabling Comprehensive Data-Driven System Management for Large
+// Computational Facilities" (Browne et al.): the TACC_Stats job-level
+// resource monitor, its supporting tool chain (rationalized syslog,
+// Lariat job summaries, SGE-style accounting), the ingest pipeline, and
+// the XDMoD/SUPReMM analytics that the paper's tables and figures come
+// from — all running against a simulated Ranger/Lonestar4-class cluster
+// substrate.
+//
+// Layout:
+//
+//	internal/cluster    hardware model (Ranger and Lonestar4 presets)
+//	internal/procfs     synthetic /proc//sys counter trees
+//	internal/workload   synthetic users, applications and job behaviour
+//	internal/sched      FIFO + EASY-backfill batch scheduler, accounting
+//	internal/sim        discrete-event engine driving everything
+//	internal/taccstats  the TACC_Stats monitor and raw text format
+//	internal/eventlog   rationalized syslog
+//	internal/lariat     per-job execution summaries
+//	internal/ingest     ETL: raw files + accounting -> job records
+//	internal/store      embedded columnar job store + system series
+//	internal/core       the analytics realm (profiles, efficiency,
+//	                    persistence, system reports)
+//	internal/report     text/CSV/ASCII renderers for every figure
+//	internal/anomaly    ANCOR-style anomaly detection and log linkage
+//	cmd/...             supremm, simulate, ingest, xdmod, taccstatsd
+//	examples/...        runnable walkthroughs
+//
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper; see EXPERIMENTS.md for paper-vs-measured results.
+package supremm

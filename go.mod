@@ -1,0 +1,3 @@
+module supremm
+
+go 1.22

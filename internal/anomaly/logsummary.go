@@ -1,0 +1,122 @@
+package anomaly
+
+import (
+	"sort"
+
+	"supremm/internal/eventlog"
+)
+
+// LogSummary is the systems-administrator view of the rationalized log
+// stream (§4.3.4): traffic by component and severity, the noisiest
+// hosts, and how much of the traffic could be attributed to jobs — the
+// payoff of the job-ID tagging.
+type LogSummary struct {
+	Total       int
+	ByComponent []ComponentCount
+	BySeverity  map[eventlog.Severity]int
+	NoisyHosts  []HostCount
+	// JobTagged is how many events carried a job ID.
+	JobTagged int
+}
+
+// ComponentCount is one component's traffic.
+type ComponentCount struct {
+	Component string
+	Count     int
+	Errors    int // Error or Critical
+}
+
+// HostCount is one host's error traffic.
+type HostCount struct {
+	Host   string
+	Errors int
+}
+
+// SummarizeLog builds the summary. topHosts bounds the noisy-host list.
+func SummarizeLog(events []eventlog.Event, topHosts int) LogSummary {
+	s := LogSummary{BySeverity: make(map[eventlog.Severity]int)}
+	comp := make(map[string]*ComponentCount)
+	var compOrder []string
+	hostErrs := make(map[string]int)
+	for _, ev := range events {
+		s.Total++
+		s.BySeverity[ev.Severity]++
+		c := comp[ev.Component]
+		if c == nil {
+			c = &ComponentCount{Component: ev.Component}
+			comp[ev.Component] = c
+			compOrder = append(compOrder, ev.Component)
+		}
+		c.Count++
+		if ev.Severity >= eventlog.Error {
+			c.Errors++
+			hostErrs[ev.Host]++
+		}
+		if ev.JobID != 0 {
+			s.JobTagged++
+		}
+	}
+	for _, name := range compOrder {
+		s.ByComponent = append(s.ByComponent, *comp[name])
+	}
+	sort.Slice(s.ByComponent, func(i, j int) bool {
+		if s.ByComponent[i].Count != s.ByComponent[j].Count {
+			return s.ByComponent[i].Count > s.ByComponent[j].Count
+		}
+		return s.ByComponent[i].Component < s.ByComponent[j].Component
+	})
+	for host, n := range hostErrs {
+		s.NoisyHosts = append(s.NoisyHosts, HostCount{Host: host, Errors: n})
+	}
+	sort.Slice(s.NoisyHosts, func(i, j int) bool {
+		if s.NoisyHosts[i].Errors != s.NoisyHosts[j].Errors {
+			return s.NoisyHosts[i].Errors > s.NoisyHosts[j].Errors
+		}
+		return s.NoisyHosts[i].Host < s.NoisyHosts[j].Host
+	})
+	if topHosts > 0 && len(s.NoisyHosts) > topHosts {
+		s.NoisyHosts = s.NoisyHosts[:topHosts]
+	}
+	return s
+}
+
+// FailurePrecursors finds node failures that were preceded by error
+// traffic on the same host within the window — the predictive claim of
+// the ANCOR line of work ("anomalous resource use patterns ... are also
+// commonly the precursors of job failures", §4.3.1). It returns the
+// fraction of NODE_FAIL-ish critical events that had earlier warnings.
+type PrecursorReport struct {
+	Failures       int // critical kernel/hw events (the failures)
+	WithPrecursors int // failures with earlier error traffic on the host
+	WindowSec      int64
+}
+
+// FindPrecursors scans the event stream for critical kernel/hardware
+// events and checks each for earlier error-severity traffic on the same
+// host inside the window.
+func FindPrecursors(events []eventlog.Event, windowSec int64) PrecursorReport {
+	rep := PrecursorReport{WindowSec: windowSec}
+	// Index error events per host, sorted by time.
+	errTimes := make(map[string][]int64)
+	for _, ev := range events {
+		if ev.Severity >= eventlog.Error {
+			errTimes[ev.Host] = append(errTimes[ev.Host], ev.Time)
+		}
+	}
+	for _, ts := range errTimes {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	}
+	for _, ev := range events {
+		if ev.Severity != eventlog.Critical || (ev.Component != "kernel" && ev.Component != "hw") {
+			continue
+		}
+		rep.Failures++
+		ts := errTimes[ev.Host]
+		// Any error strictly earlier but within the window?
+		i := sort.Search(len(ts), func(i int) bool { return ts[i] >= ev.Time })
+		if i > 0 && ev.Time-ts[i-1] <= windowSec && ts[i-1] < ev.Time {
+			rep.WithPrecursors++
+		}
+	}
+	return rep
+}

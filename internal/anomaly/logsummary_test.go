@@ -1,0 +1,84 @@
+package anomaly
+
+import (
+	"testing"
+
+	"supremm/internal/eventlog"
+)
+
+func logFixture() []eventlog.Event {
+	return []eventlog.Event{
+		{Time: 100, Host: "n1", JobID: 5, Severity: eventlog.Info, Component: "sge", Message: "start"},
+		{Time: 200, Host: "n1", JobID: 5, Severity: eventlog.Error, Component: "lustre", Message: "timeout"},
+		{Time: 250, Host: "n1", JobID: 5, Severity: eventlog.Error, Component: "lustre", Message: "timeout"},
+		{Time: 300, Host: "n1", JobID: 0, Severity: eventlog.Critical, Component: "kernel", Message: "soft lockup"},
+		{Time: 400, Host: "n2", JobID: 0, Severity: eventlog.Critical, Component: "kernel", Message: "soft lockup"},
+		{Time: 500, Host: "n3", JobID: 7, Severity: eventlog.Warning, Component: "syslog", Message: "retry"},
+	}
+}
+
+func TestSummarizeLog(t *testing.T) {
+	s := SummarizeLog(logFixture(), 10)
+	if s.Total != 6 {
+		t.Fatalf("total = %d", s.Total)
+	}
+	if s.JobTagged != 4 {
+		t.Errorf("job tagged = %d, want 4", s.JobTagged)
+	}
+	if s.BySeverity[eventlog.Critical] != 2 || s.BySeverity[eventlog.Error] != 2 {
+		t.Errorf("severity counts: %v", s.BySeverity)
+	}
+	// Components ordered by count: lustre (2) and kernel (2) tie —
+	// alphabetical; then sge, syslog.
+	if len(s.ByComponent) != 4 {
+		t.Fatalf("components = %d", len(s.ByComponent))
+	}
+	if s.ByComponent[0].Component != "kernel" || s.ByComponent[1].Component != "lustre" {
+		t.Errorf("component order: %+v", s.ByComponent)
+	}
+	if s.ByComponent[1].Errors != 2 {
+		t.Errorf("lustre errors = %d", s.ByComponent[1].Errors)
+	}
+	// Noisy hosts: n1 has 3 error+ events, n2 has 1.
+	if len(s.NoisyHosts) != 2 || s.NoisyHosts[0].Host != "n1" || s.NoisyHosts[0].Errors != 3 {
+		t.Errorf("noisy hosts: %+v", s.NoisyHosts)
+	}
+	// Top-host clamp.
+	if got := SummarizeLog(logFixture(), 1); len(got.NoisyHosts) != 1 {
+		t.Errorf("clamp: %+v", got.NoisyHosts)
+	}
+	empty := SummarizeLog(nil, 5)
+	if empty.Total != 0 || len(empty.ByComponent) != 0 {
+		t.Errorf("empty summary: %+v", empty)
+	}
+}
+
+func TestFindPrecursors(t *testing.T) {
+	rep := FindPrecursors(logFixture(), 600)
+	// Two critical kernel events: n1's at t=300 had lustre errors at
+	// 200/250 (precursors); n2's at t=400 had none.
+	if rep.Failures != 2 {
+		t.Fatalf("failures = %d", rep.Failures)
+	}
+	if rep.WithPrecursors != 1 {
+		t.Errorf("with precursors = %d, want 1", rep.WithPrecursors)
+	}
+	// A tight window excludes the n1 precursors (gap 50s is inside, so
+	// shrink below it).
+	tight := FindPrecursors(logFixture(), 10)
+	if tight.WithPrecursors != 0 {
+		t.Errorf("tight window precursors = %d", tight.WithPrecursors)
+	}
+}
+
+func TestFindPrecursorsSelfExclusion(t *testing.T) {
+	// A lone critical kernel event must not count itself as precursor
+	// (it is also error-severity traffic on the host).
+	events := []eventlog.Event{
+		{Time: 100, Host: "n1", Severity: eventlog.Critical, Component: "kernel", Message: "lockup"},
+	}
+	rep := FindPrecursors(events, 600)
+	if rep.Failures != 1 || rep.WithPrecursors != 0 {
+		t.Errorf("self-exclusion broken: %+v", rep)
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"supremm/internal/store"
+)
+
+// SystemChoice is one row of the §4.3.1 user report: how efficiently an
+// application runs on each system, so users "will be able to determine
+// which systems their jobs will execute on with maximum efficiency" and
+// centers can "provide incentives for users to run on architectures
+// best suited for their application" (§5).
+type SystemChoice struct {
+	App  string
+	Rows []SystemEfficiency
+	// Best is the recommended cluster (highest efficiency with enough
+	// evidence), empty when no system has data.
+	Best string
+}
+
+// SystemEfficiency is one (app, cluster) efficiency measurement.
+// Ranking uses RelativeIdle — the app's idle normalized by the fleet
+// mean, i.e. exactly the Fig 3 radar axis — because it isolates how the
+// architecture suits the code from how busy or sloppy that machine's
+// general population happens to be. Absolute efficiency and per-core
+// flops are reported alongside for context.
+type SystemEfficiency struct {
+	Cluster    string
+	Jobs       int
+	NodeHours  float64
+	Efficiency float64 // 1 - node-hour-weighted cpu idle (absolute)
+	// RelativeIdle is app idle / fleet idle; < 1 means the code idles
+	// less than this machine's average job.
+	RelativeIdle   float64
+	FlopsGF        float64 // weighted mean GF/s per node
+	FlopsPerCoreGF float64
+}
+
+// minAdviceJobs is the evidence floor below which a system is listed
+// but not recommended.
+const minAdviceJobs = 10
+
+// AdviseSystem compares one application across realms, ranking by
+// fleet-relative idle (the Fig 3 axis).
+func AdviseSystem(app string, realms ...*Realm) SystemChoice {
+	out := SystemChoice{App: app}
+	bestRel := math.Inf(1)
+	for _, r := range realms {
+		f := r.JobFilter()
+		f.App = app
+		idle := r.Store.Aggregate(store.MetricCPUIdle, f)
+		flops := r.Store.Aggregate(store.MetricFlops, f)
+		row := SystemEfficiency{
+			Cluster:      r.Cluster,
+			Jobs:         idle.N,
+			NodeHours:    idle.NodeHours,
+			RelativeIdle: math.NaN(),
+		}
+		if idle.N > 0 {
+			row.Efficiency = 1 - idle.Mean
+			row.FlopsGF = flops.Mean
+			row.FlopsPerCoreGF = flops.Mean / float64(r.CoresPerNode)
+			if fleet := r.FleetMean(store.MetricCPUIdle); fleet > 0 {
+				row.RelativeIdle = idle.Mean / fleet
+			}
+		}
+		out.Rows = append(out.Rows, row)
+		if row.Jobs >= minAdviceJobs && !math.IsNaN(row.RelativeIdle) && row.RelativeIdle < bestRel {
+			bestRel = row.RelativeIdle
+			out.Best = r.Cluster
+		}
+	}
+	sort.Slice(out.Rows, func(i, j int) bool {
+		ri, rj := out.Rows[i].RelativeIdle, out.Rows[j].RelativeIdle
+		if math.IsNaN(rj) {
+			return true
+		}
+		if math.IsNaN(ri) {
+			return false
+		}
+		return ri < rj
+	})
+	return out
+}
+
+// UserAdvice aggregates system advice over a user's whole application
+// mix, weighted by the user's node-hours per app.
+type UserAdvice struct {
+	User string
+	// PerApp holds the per-application comparisons for the user's codes.
+	PerApp []SystemChoice
+	// Recommended is the cluster whose node-hour-weighted efficiency
+	// over the user's mix is highest.
+	Recommended string
+	// ExpectedEfficiency maps cluster -> the user's mix-weighted
+	// efficiency there.
+	ExpectedEfficiency map[string]float64
+}
+
+// AdviseUser builds the §4.3.1 comparative report for one user. The
+// user's app mix and weights come from the first realm that has their
+// jobs; efficiencies per app come from all realms.
+func AdviseUser(user string, realms ...*Realm) (UserAdvice, error) {
+	advice := UserAdvice{User: user, ExpectedEfficiency: make(map[string]float64)}
+	// The user's mix: node-hours per app wherever they ran.
+	mix := make(map[string]float64)
+	for _, r := range realms {
+		f := r.JobFilter()
+		f.User = user
+		for _, g := range r.Store.GroupBy(store.ByApp, nil, f) {
+			mix[g.Key] += g.NodeHours
+		}
+	}
+	if len(mix) == 0 {
+		return advice, fmt.Errorf("core: user %q has no analyzed jobs", user)
+	}
+	apps := make([]string, 0, len(mix))
+	for app := range mix {
+		apps = append(apps, app)
+	}
+	sort.Slice(apps, func(i, j int) bool {
+		if mix[apps[i]] != mix[apps[j]] {
+			return mix[apps[i]] > mix[apps[j]]
+		}
+		return apps[i] < apps[j]
+	})
+
+	// Mix-weighted relative idle per cluster, using fleet-wide per-app
+	// measurements (the user's own runs may not exist on the candidate
+	// cluster — that is the whole point of the advice). The reported
+	// ExpectedEfficiency uses absolute efficiency for readability; the
+	// recommendation uses relative idle (architecture fit).
+	relByCluster := make(map[string]map[string]float64) // cluster -> app -> rel idle
+	effByCluster := make(map[string]map[string]float64)
+	for _, app := range apps {
+		choice := AdviseSystem(app, realms...)
+		advice.PerApp = append(advice.PerApp, choice)
+		for _, row := range choice.Rows {
+			if row.Jobs < minAdviceJobs || math.IsNaN(row.RelativeIdle) {
+				continue
+			}
+			if relByCluster[row.Cluster] == nil {
+				relByCluster[row.Cluster] = make(map[string]float64)
+				effByCluster[row.Cluster] = make(map[string]float64)
+			}
+			relByCluster[row.Cluster][app] = row.RelativeIdle
+			effByCluster[row.Cluster][app] = row.Efficiency
+		}
+	}
+	best := math.Inf(1)
+	for clusterName, relByApp := range relByCluster {
+		var relNum, effNum, den float64
+		for app, w := range mix {
+			if rel, ok := relByApp[app]; ok {
+				relNum += w * rel
+				effNum += w * effByCluster[clusterName][app]
+				den += w
+			}
+		}
+		if den == 0 {
+			continue
+		}
+		advice.ExpectedEfficiency[clusterName] = effNum / den
+		if rel := relNum / den; rel < best {
+			best = rel
+			advice.Recommended = clusterName
+		}
+	}
+	return advice, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdviseSystemGromacs(t *testing.T) {
+	// GROMACS exploits the Westmere cluster (cluster modifier 0.7x idle,
+	// 1.5x flops), so the advisor must prefer Lonestar4 for it.
+	ranger, ls4 := realms(t)
+	choice := AdviseSystem("gromacs", ranger, ls4)
+	if choice.Best != "lonestar4" {
+		t.Errorf("gromacs best = %q, want lonestar4 (rows %+v)", choice.Best, choice.Rows)
+	}
+	if len(choice.Rows) != 2 {
+		t.Fatalf("rows = %d", len(choice.Rows))
+	}
+	// Rows sorted by relative idle ascending (best architecture fit
+	// first).
+	if choice.Rows[0].RelativeIdle > choice.Rows[1].RelativeIdle {
+		t.Error("rows not sorted by relative idle")
+	}
+	for _, row := range choice.Rows {
+		if row.Jobs < minAdviceJobs {
+			t.Errorf("%s: only %d gromacs jobs in fixture", row.Cluster, row.Jobs)
+		}
+		if row.Efficiency <= 0 || row.Efficiency > 1 {
+			t.Errorf("%s: efficiency %v", row.Cluster, row.Efficiency)
+		}
+	}
+}
+
+func TestAdviseSystemNoData(t *testing.T) {
+	r, _ := realms(t)
+	choice := AdviseSystem("nonexistent-code", r)
+	if choice.Best != "" {
+		t.Errorf("best = %q for unknown app", choice.Best)
+	}
+	if choice.Rows[0].Jobs != 0 {
+		t.Errorf("rows: %+v", choice.Rows)
+	}
+}
+
+func TestAdviseUser(t *testing.T) {
+	ranger, ls4 := realms(t)
+	// Pick a heavy user with enough jobs.
+	heavy := ranger.TopUserProfiles(1)[0].Key
+	advice, err := AdviseUser(heavy, ranger, ls4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice.Recommended == "" {
+		t.Fatal("no recommendation")
+	}
+	if len(advice.PerApp) == 0 {
+		t.Fatal("no per-app advice")
+	}
+	// Expected efficiencies are plausible, and the recommended cluster
+	// is among them.
+	for name, e := range advice.ExpectedEfficiency {
+		if e <= 0 || e > 1 {
+			t.Errorf("%s expected efficiency %v", name, e)
+		}
+	}
+	if _, ok := advice.ExpectedEfficiency[advice.Recommended]; !ok {
+		t.Errorf("recommended %q has no expected efficiency", advice.Recommended)
+	}
+}
+
+func TestAdviseUserUnknown(t *testing.T) {
+	r, _ := realms(t)
+	if _, err := AdviseUser("nobody-here", r); err == nil {
+		t.Error("unknown user should error")
+	}
+}
+
+func TestAdviceConsistentWithFig3(t *testing.T) {
+	// The §5 conclusion — "provide incentives for users to run on
+	// architectures best suited for their application" — must be
+	// derivable: a pure-GROMACS user is steered to LS4 while a
+	// pure-AMBER user's two options are closer together.
+	ranger, ls4 := realms(t)
+	g := AdviseSystem("gromacs", ranger, ls4)
+	a := AdviseSystem("amber", ranger, ls4)
+	gGap := g.Rows[1].RelativeIdle - g.Rows[0].RelativeIdle
+	if g.Best != "lonestar4" || gGap <= 0 {
+		t.Errorf("gromacs advice: %+v", g)
+	}
+	// GROMACS's per-core flops advantage on Westmere shows up too.
+	byCluster := map[string]SystemEfficiency{}
+	for _, row := range g.Rows {
+		byCluster[row.Cluster] = row
+	}
+	if byCluster["lonestar4"].FlopsPerCoreGF <= byCluster["ranger"].FlopsPerCoreGF {
+		t.Errorf("gromacs per-core flops: ls4 %v vs ranger %v",
+			byCluster["lonestar4"].FlopsPerCoreGF, byCluster["ranger"].FlopsPerCoreGF)
+	}
+	_ = a // AMBER's ordering is allowed to go either way
+	if math.IsNaN(gGap) {
+		t.Error("NaN gap")
+	}
+}

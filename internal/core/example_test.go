@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"supremm/internal/core"
+)
+
+func ExampleParseQuery() {
+	q, err := core.ParseQuery("group=app metrics=cpu_idle,cpu_flops app=namd limit=5 normalize=true")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("group:", q.GroupBy)
+	fmt.Println("metrics:", q.Metrics)
+	fmt.Println("app filter:", q.Filter.App)
+	fmt.Println("normalize:", q.Normalize)
+	// Output:
+	// group: 1
+	// metrics: [cpu_idle cpu_flops]
+	// app filter: namd
+	// normalize: true
+}
+
+func ExamplePersistenceMetrics() {
+	// The five system metrics Table 1 analyzes, in column order.
+	fmt.Println(core.PersistenceMetrics())
+	fmt.Println(core.PersistenceOffsetsMin())
+	// Output:
+	// [cpu_flops mem_used io_scratch_write net_ib_tx cpu_idle]
+	// [10 30 100 500 1000]
+}

@@ -1,0 +1,63 @@
+// Package core is the analytics and reporting framework of the
+// reproduction — the XDMoD/SUPReMM layer (§4). It consumes the job-level
+// store and the system-level series and produces the paper's analyses:
+// correlation-driven metric selection (§4.2), normalized usage profiles
+// (Figs 2/3/5), the efficiency/wasted-node-hours report (Fig 4), the
+// persistence model (Table 1, Fig 6), and the system-level reports
+// (Figs 7-12), organized per stakeholder (§4.3).
+package core
+
+import (
+	"supremm/internal/store"
+)
+
+// Realm bundles one cluster's ingested data, in XDMoD's sense of a data
+// realm. All §4 analyses hang off it.
+type Realm struct {
+	Cluster string
+	// CoresPerNode and MemPerNodeGB carry the hardware shape needed by
+	// per-core and fraction-of-capacity reports.
+	CoresPerNode int
+	MemPerNodeGB float64
+	PeakTFlops   float64
+
+	Store  *store.Store
+	Series []store.SystemSample
+}
+
+// NewRealm assembles a realm.
+func NewRealm(clusterName string, coresPerNode int, memGB, peakTF float64, st *store.Store, series []store.SystemSample) *Realm {
+	return &Realm{
+		Cluster:      clusterName,
+		CoresPerNode: coresPerNode,
+		MemPerNodeGB: memGB,
+		PeakTFlops:   peakTF,
+		Store:        st,
+		Series:       series,
+	}
+}
+
+// JobFilter returns the realm's base filter: this cluster's jobs longer
+// than one sampling interval, which is the population §4.1 analyzes
+// ("jobs included in this study are those longer than the default
+// TACC_Stats sampling interval of 10 minutes").
+func (r *Realm) JobFilter() store.Filter {
+	return store.Filter{Cluster: r.Cluster, MinSamples: 1}
+}
+
+// FleetMean returns the node-hour-weighted fleet mean of a metric — the
+// normalization denominator for every radar profile ("normalized by the
+// average value of each metric over all of the usage").
+func (r *Realm) FleetMean(m store.Metric) float64 {
+	return r.Store.Aggregate(m, r.JobFilter()).Mean
+}
+
+// JobCount returns how many jobs pass the base filter.
+func (r *Realm) JobCount() int {
+	return len(r.Store.Select(r.JobFilter()))
+}
+
+// TotalNodeHours returns the consumed node-hours in the realm.
+func (r *Realm) TotalNodeHours() float64 {
+	return r.Store.TotalNodeHours(r.JobFilter())
+}

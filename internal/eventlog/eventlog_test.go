@@ -1,0 +1,236 @@
+package eventlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventStringAndParseRoundTrip(t *testing.T) {
+	e := Event{
+		Time: 1307000600, Host: "c101-304.ranger", JobID: 12345,
+		Severity: Error, Component: "lustre",
+		Message: "ost_write operation failed with -122",
+	}
+	parsed, err := ParseEvent(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != e {
+		t.Errorf("round trip:\n in  %+v\n out %+v", e, parsed)
+	}
+	// Job 0 renders as "-".
+	e.JobID = 0
+	if !strings.Contains(e.String(), " - ") {
+		t.Errorf("no-job event should use '-': %q", e.String())
+	}
+	parsed, err = ParseEvent(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.JobID != 0 {
+		t.Errorf("job id = %d, want 0", parsed.JobID)
+	}
+}
+
+func TestParseEventErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 2 3",
+		"X host - INFO comp msg",
+		"100 host BAD INFO comp msg",
+		"100 host - WEIRD comp msg",
+	}
+	for _, line := range bad {
+		if _, err := ParseEvent(line); err == nil {
+			t.Errorf("expected error for %q", line)
+		}
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	for s, want := range map[Severity]string{Info: "INFO", Warning: "WARN", Error: "ERROR", Critical: "CRIT"} {
+		if s.String() != want {
+			t.Errorf("%d -> %q, want %q", s, s.String(), want)
+		}
+		back, err := ParseSeverity(want)
+		if err != nil || back != s {
+			t.Errorf("ParseSeverity(%q) = %v, %v", want, back, err)
+		}
+	}
+	if !strings.Contains(Severity(9).String(), "9") {
+		t.Error("unknown severity string")
+	}
+	if _, err := ParseSeverity("NOPE"); err == nil {
+		t.Error("unknown severity should error")
+	}
+}
+
+func lookupFixed(id int64) JobLookup {
+	return func(host string, unix int64) int64 { return id }
+}
+
+func TestRationalizeBSDSyslog(t *testing.T) {
+	r := NewRationalizer(lookupFixed(777))
+	ev := r.Rationalize("Jun  5 04:32:10 c101-304 sshd[2211]: error: connection reset", "ignored", 0)
+	if ev.Host != "c101-304" {
+		t.Errorf("host = %q", ev.Host)
+	}
+	if ev.Component != "sshd" {
+		t.Errorf("component = %q", ev.Component)
+	}
+	if ev.Severity != Error {
+		t.Errorf("severity = %v", ev.Severity)
+	}
+	if ev.JobID != 777 {
+		t.Errorf("job = %d, want lookup result", ev.JobID)
+	}
+	if ev.Time == 0 {
+		t.Error("BSD time not parsed")
+	}
+	// The rationalized line itself parses.
+	if _, err := ParseEvent(ev.String()); err != nil {
+		t.Errorf("rationalized event unparseable: %v", err)
+	}
+}
+
+func TestRationalizeKernelPrintk(t *testing.T) {
+	r := NewRationalizer(lookupFixed(5))
+	ev := r.Rationalize("<1>[ 8452.123] BUG: soft lockup - CPU#4 stuck for 67s!", "c005-002", 1307000000)
+	if ev.Component != "kernel" || ev.Severity != Critical {
+		t.Errorf("component/severity = %v/%v", ev.Component, ev.Severity)
+	}
+	if ev.Time != 1307000000+8452 {
+		t.Errorf("time = %d", ev.Time)
+	}
+	if ev.Host != "c005-002" {
+		t.Errorf("host = %q", ev.Host)
+	}
+	// Printk level 4 is a warning.
+	ev = r.Rationalize("<4>[ 1.0] something odd", "h", 100)
+	if ev.Severity != Warning {
+		t.Errorf("printk <4> severity = %v", ev.Severity)
+	}
+	ev = r.Rationalize("<6>[ 1.0] informational", "h", 100)
+	if ev.Severity != Info {
+		t.Errorf("printk <6> severity = %v", ev.Severity)
+	}
+}
+
+func TestRationalizeLustre(t *testing.T) {
+	r := NewRationalizer(nil)
+	ev := r.Rationalize("LustreError: 11234:0:(client.c:1060:ptlrpc_import_delay_req()) IMP_INVALID", "c009-011", 500)
+	if ev.Component != "lustre" || ev.Severity != Error {
+		t.Errorf("lustre error: %+v", ev)
+	}
+	ev = r.Rationalize("Lustre: 4321:0:(import.c:517:import_select_connection()) reconnecting", "c009-011", 500)
+	if ev.Component != "lustre" || ev.Severity != Warning {
+		t.Errorf("lustre info: %+v", ev)
+	}
+	if ev.JobID != 0 {
+		t.Errorf("nil lookup should give job 0, got %d", ev.JobID)
+	}
+}
+
+func TestRationalizeOOM(t *testing.T) {
+	r := NewRationalizer(lookupFixed(31))
+	ev := r.Rationalize("Out of memory: Kill process 9876 (vasp) score 905 or sacrifice child", "c100-001", 42)
+	if ev.Component != "oom" || ev.Severity != Critical {
+		t.Errorf("oom: %+v", ev)
+	}
+	if !strings.Contains(ev.Message, "9876") || !strings.Contains(ev.Message, "vasp") {
+		t.Errorf("oom message lost details: %q", ev.Message)
+	}
+}
+
+func TestRationalizeNestedPayloadInBSDLine(t *testing.T) {
+	r := NewRationalizer(nil)
+	// A BSD syslog line whose payload is an OOM event should be
+	// reclassified to the oom component.
+	ev := r.Rationalize("Jun 12 10:00:00 c001-001 kernel: Out of memory: Kill process 1 (x)", "h", 0)
+	if ev.Component != "oom" || ev.Severity != Critical {
+		t.Errorf("nested oom: %+v", ev)
+	}
+	ev = r.Rationalize("Jun 12 10:00:00 c001-001 kernel: LustreError: timeout on ost", "h", 0)
+	if ev.Component != "lustre" {
+		t.Errorf("nested lustre: %+v", ev)
+	}
+}
+
+func TestRationalizeUnknownFormatFallsBack(t *testing.T) {
+	r := NewRationalizer(lookupFixed(9))
+	ev := r.Rationalize("completely novel format 123", "c001-001", 999)
+	if ev.Component != "syslog" || ev.Time != 999 || ev.JobID != 9 {
+		t.Errorf("fallback: %+v", ev)
+	}
+	if ev.Severity != Info {
+		t.Errorf("benign unknown line severity = %v", ev.Severity)
+	}
+	ev = r.Rationalize("disk failure imminent", "c001-001", 999)
+	if ev.Severity != Error {
+		t.Errorf("failure keyword severity = %v", ev.Severity)
+	}
+}
+
+func TestWriteReadEvents(t *testing.T) {
+	events := []Event{
+		{Time: 1, Host: "a", JobID: 2, Severity: Info, Component: "x", Message: "m one"},
+		{Time: 2, Host: "b", JobID: 0, Severity: Critical, Component: "oom", Message: "killed"},
+	}
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != events[0] || got[1] != events[1] {
+		t.Errorf("round trip: %+v", got)
+	}
+	if _, err := ReadEvents(strings.NewReader("junk\n")); err == nil {
+		t.Error("corrupt stream should error")
+	}
+	// Blank lines tolerated.
+	got, err = ReadEvents(strings.NewReader("\n" + events[0].String() + "\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("blank tolerance: %v %v", got, err)
+	}
+}
+
+func TestRationalizeNeverPanicsProperty(t *testing.T) {
+	// The rationalizer faces arbitrary log garbage in production; it
+	// must classify, never crash.
+	r := NewRationalizer(nil)
+	f := func(raw string, boot int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		ev := r.Rationalize(raw, "host", boot)
+		// And whatever it produced must render and re-parse.
+		_, err := ParseEvent(ev.String())
+		return err == nil || strings.ContainsAny(ev.Message, "\n\r") ||
+			strings.TrimSpace(ev.Message) == "" || strings.TrimSpace(ev.Host) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseEventNeverPanicsProperty(t *testing.T) {
+	f := func(line string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseEvent(line)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"supremm/internal/sched"
+	"supremm/internal/store"
+)
+
+// hostResult is everything one host's raw files contribute: attributed
+// intervals and the host's slice of every system bucket.
+type hostResult struct {
+	host         string
+	intervals    []attributedInterval
+	buckets      map[int64]*sysBucket
+	unattributed int
+	err          error
+}
+
+type attributedInterval struct {
+	jobID int64
+	iv    Interval
+}
+
+// IngestRawParallel is IngestRaw with a per-host worker pool: hosts are
+// parsed and delta-reduced concurrently, then merged in sorted host
+// order so the result is byte-identical to the sequential path (float
+// summation order is fixed by the merge order, not by goroutine
+// scheduling). workers <= 0 uses GOMAXPROCS.
+func IngestRawParallel(dir string, acct []sched.AcctRecord, workers int) (*RawResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	windowsByHost, identities := indexAccounting(acct)
+
+	hostDirs, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: read raw dir: %w", err)
+	}
+	hosts := sortedDirs(hostDirs)
+
+	jobs := make(chan string)
+	results := make(map[string]*hostResult, len(hosts))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for host := range jobs {
+				res := processHost(dir, host, windowsByHost[host])
+				mu.Lock()
+				results[host] = res
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, hd := range hosts {
+		jobs <- hd.Name()
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Deterministic merge in sorted host order.
+	acc := NewAccumulator()
+	buckets := make(map[int64]*sysBucket)
+	unattributed := 0
+	for _, hd := range hosts {
+		res := results[hd.Name()]
+		if res.err != nil {
+			return nil, res.err
+		}
+		unattributed += res.unattributed
+		for _, ai := range res.intervals {
+			if !acc.Started(ai.jobID) {
+				acc.StartJob(identities[ai.jobID])
+			}
+			if err := acc.AddInterval(ai.jobID, ai.iv); err != nil {
+				return nil, err
+			}
+		}
+		for t, hb := range res.buckets {
+			b := buckets[t]
+			if b == nil {
+				b = &sysBucket{}
+				buckets[t] = b
+			}
+			b.merge(hb)
+		}
+	}
+
+	st := store.New()
+	ids := make([]int64, 0, len(identities))
+	for id := range identities {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !acc.Started(id) {
+			acc.StartJob(identities[id])
+		}
+		rec, err := acc.FinishJob(id)
+		if err != nil {
+			return nil, err
+		}
+		st.Add(rec)
+	}
+	return &RawResult{Store: st, Series: flattenBuckets(buckets), Unattributed: unattributed}, nil
+}
+
+// processHost parses one host's files into attributed intervals and
+// per-time buckets. It never touches shared state.
+func processHost(dir, host string, windows []jobWindow) *hostResult {
+	res := &hostResult{host: host, buckets: make(map[int64]*sysBucket)}
+	files, err := os.ReadDir(filepath.Join(dir, host))
+	if err != nil {
+		res.err = fmt.Errorf("ingest: read host dir %s: %w", host, err)
+		return res
+	}
+	var prev *hostSample
+	for _, fe := range sortedRawFiles(files) {
+		path := filepath.Join(dir, host, fe.Name())
+		f, err := parseRawFile(path)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		for i := range f.Records {
+			cur := &hostSample{rec: &f.Records[i], schemas: f.Schemas}
+			if prev != nil {
+				res.fold(windows, prev, cur)
+			}
+			prev = cur
+		}
+	}
+	return res
+}
+
+// fold computes one interval and stores it host-locally.
+func (res *hostResult) fold(windows []jobWindow, prev, cur *hostSample) {
+	dt := float64(cur.rec.Time - prev.rec.Time)
+	if dt <= 0 {
+		return
+	}
+	iv := computeInterval(prev, cur, dt)
+	mid := prev.rec.Time + int64(dt/2)
+	jobID := findJob(windows, mid)
+	if jobID != 0 {
+		res.intervals = append(res.intervals, attributedInterval{jobID: jobID, iv: iv})
+	} else {
+		res.unattributed++
+	}
+	b := res.buckets[cur.rec.Time]
+	if b == nil {
+		b = &sysBucket{}
+		res.buckets[cur.rec.Time] = b
+	}
+	b.fold(iv, jobID != 0)
+}
+
+// merge adds another bucket's partial sums (same sample instant,
+// different hosts).
+func (b *sysBucket) merge(o *sysBucket) {
+	b.hosts += o.hosts
+	b.busy += o.busy
+	b.flops += o.flops
+	if o.dt > 0 {
+		b.dt = o.dt
+	}
+	b.memKB += o.memKB
+	b.user += o.user
+	b.sys += o.sys
+	b.idle += o.idle
+	b.scratchB += o.scratchB
+	b.workB += o.workB
+	b.ibTxB += o.ibTxB
+	b.lnetTxB += o.lnetTxB
+}

@@ -1,0 +1,372 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"supremm/internal/procfs"
+	"supremm/internal/sched"
+	"supremm/internal/store"
+	"supremm/internal/taccstats"
+)
+
+// jobWindow is one job's occupancy of one host.
+type jobWindow struct {
+	start, end int64
+	jobID      int64
+}
+
+// RawResult is what the raw-path ETL produces.
+type RawResult struct {
+	Store  *store.Store
+	Series []store.SystemSample
+	// Unattributed counts intervals that matched no accounting window
+	// (idle nodes or clock skew); reported, not silently dropped.
+	Unattributed int
+}
+
+// IngestRaw parses every raw TACC_Stats file under dir (layout:
+// dir/<hostname>/<day>.raw) and joins the counter deltas with the
+// accounting records to produce per-job summaries and the cluster-wide
+// series. This is the paper's Netezza/MySQL ingest stage.
+func IngestRaw(dir string, acct []sched.AcctRecord) (*RawResult, error) {
+	windowsByHost, identities := indexAccounting(acct)
+
+	hostDirs, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: read raw dir: %w", err)
+	}
+	acc := NewAccumulator()
+	buckets := make(map[int64]*sysBucket)
+	unattributed := 0
+
+	for _, hd := range sortedDirs(hostDirs) {
+		host := hd.Name()
+		files, err := os.ReadDir(filepath.Join(dir, host))
+		if err != nil {
+			return nil, fmt.Errorf("ingest: read host dir %s: %w", host, err)
+		}
+		var prev *hostSample
+		for _, fe := range sortedRawFiles(files) {
+			path := filepath.Join(dir, host, fe.Name())
+			f, err := parseRawFile(path)
+			if err != nil {
+				return nil, err
+			}
+			for i := range f.Records {
+				cur := &hostSample{rec: &f.Records[i], schemas: f.Schemas}
+				if prev != nil {
+					n := processInterval(acc, buckets, windowsByHost[host], identities, host, prev, cur)
+					unattributed += n
+				}
+				prev = cur
+			}
+		}
+	}
+
+	st := store.New()
+	ids := make([]int64, 0, len(identities))
+	for id := range identities {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !acc.Started(id) {
+			// Jobs shorter than one sampling interval contribute no
+			// intervals; record identity with zero metrics, as the
+			// deployed pipeline does (they are filtered by Samples).
+			acc.StartJob(identities[id])
+		}
+		rec, err := acc.FinishJob(id)
+		if err != nil {
+			return nil, err
+		}
+		st.Add(rec)
+	}
+	return &RawResult{Store: st, Series: flattenBuckets(buckets), Unattributed: unattributed}, nil
+}
+
+func parseRawFile(path string) (*taccstats.File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: open %s: %w", path, err)
+	}
+	defer fh.Close()
+	f, err := taccstats.ParseFile(fh)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// indexAccounting builds per-host occupancy windows and the identity
+// records, keyed by job ID.
+func indexAccounting(acct []sched.AcctRecord) (map[string][]jobWindow, map[int64]store.JobRecord) {
+	windows := make(map[string][]jobWindow)
+	identities := make(map[int64]store.JobRecord, len(acct))
+	for _, r := range acct {
+		identities[r.JobID] = store.JobRecord{
+			JobID:   r.JobID,
+			Cluster: r.Cluster,
+			User:    r.Owner,
+			App:     r.JobName,
+			Science: r.Account,
+			Nodes:   r.NodeCount(),
+			Submit:  r.Submit,
+			Start:   r.Start,
+			End:     r.End,
+			Status:  r.Status.String(),
+		}
+		for _, host := range r.NodeList {
+			windows[host] = append(windows[host], jobWindow{start: r.Start, end: r.End, jobID: r.JobID})
+		}
+	}
+	for host := range windows {
+		ws := windows[host]
+		sort.Slice(ws, func(i, j int) bool { return ws[i].start < ws[j].start })
+	}
+	return windows, identities
+}
+
+// findJob returns the job occupying the host at time t, or 0.
+func findJob(windows []jobWindow, t int64) int64 {
+	// Binary search on start, then check containment; windows on one
+	// host never overlap (whole-node scheduling).
+	i := sort.Search(len(windows), func(i int) bool { return windows[i].start > t })
+	if i == 0 {
+		return 0
+	}
+	w := windows[i-1]
+	if t >= w.start && t <= w.end {
+		return w.jobID
+	}
+	return 0
+}
+
+// hostSample pairs a parsed record with its file's schemas.
+type hostSample struct {
+	rec     *taccstats.Record
+	schemas map[string]procfs.Schema
+}
+
+func (h *hostSample) get(typ, dev, key string) (uint64, bool) {
+	return h.rec.Get(h.schemas, typ, dev, key)
+}
+
+// eventDelta computes a counter delta with reset semantics: counters
+// that moved backwards were reprogrammed (zeroed) at a job boundary, so
+// the new value is the delta since the reset.
+func eventDelta(prev, cur uint64) float64 {
+	if cur >= prev {
+		return float64(cur - prev)
+	}
+	return float64(cur)
+}
+
+// sumDevices sums an event delta over all devices of a type.
+func sumDevices(prev, cur *hostSample, typ, key string) float64 {
+	devs, ok := cur.rec.Data[typ]
+	if !ok {
+		return 0
+	}
+	var total float64
+	for dev := range devs {
+		c, _ := cur.get(typ, dev, key)
+		p, _ := prev.get(typ, dev, key)
+		total += eventDelta(p, c)
+	}
+	return total
+}
+
+// sumGauge sums a gauge over all devices at the current sample.
+func sumGauge(cur *hostSample, typ, key string) float64 {
+	devs, ok := cur.rec.Data[typ]
+	if !ok {
+		return 0
+	}
+	var total float64
+	for dev := range devs {
+		v, _ := cur.get(typ, dev, key)
+		total += float64(v)
+	}
+	return total
+}
+
+// processInterval converts one (prev, cur) record pair into an Interval,
+// attributes it to a job, and folds it into the system buckets. Returns
+// 1 if the interval matched no job window (still folded into the system
+// series, since idle nodes are part of the cluster view).
+func processInterval(acc *Accumulator, buckets map[int64]*sysBucket,
+	windows []jobWindow, identities map[int64]store.JobRecord,
+	host string, prev, cur *hostSample) int {
+
+	dt := float64(cur.rec.Time - prev.rec.Time)
+	if dt <= 0 {
+		return 0
+	}
+	iv := computeInterval(prev, cur, dt)
+
+	// Attribute to the occupying job at the interval midpoint.
+	mid := prev.rec.Time + int64(dt/2)
+	jobID := findJob(windows, mid)
+	unattributed := 0
+	if jobID != 0 {
+		if !acc.Started(jobID) {
+			acc.StartJob(identities[jobID])
+		}
+		// Errors can only be "unknown job", excluded by the check above.
+		_ = acc.AddInterval(jobID, iv)
+	} else {
+		unattributed = 1
+	}
+
+	// System bucket keyed by sample time.
+	b := buckets[cur.rec.Time]
+	if b == nil {
+		b = &sysBucket{}
+		buckets[cur.rec.Time] = b
+	}
+	b.fold(iv, jobID != 0)
+	_ = host
+	return unattributed
+}
+
+// computeInterval reduces one (prev, cur) record pair to metric-unit
+// deltas; shared by the sequential and parallel paths.
+func computeInterval(prev, cur *hostSample, dt float64) Interval {
+	// CPU fractions from scheduler-accounting deltas over all cores.
+	user := sumDevices(prev, cur, procfs.TypeCPU, "user") + sumDevices(prev, cur, procfs.TypeCPU, "nice")
+	sys := sumDevices(prev, cur, procfs.TypeCPU, "system") +
+		sumDevices(prev, cur, procfs.TypeCPU, "irq") + sumDevices(prev, cur, procfs.TypeCPU, "softirq")
+	idle := sumDevices(prev, cur, procfs.TypeCPU, "idle")
+	iowait := sumDevices(prev, cur, procfs.TypeCPU, "iowait")
+	totalCS := user + sys + idle + iowait
+
+	iv := Interval{DtSec: dt}
+	if totalCS > 0 {
+		iv.UserFrac = user / totalCS
+		iv.SysFrac = sys / totalCS
+		iv.IdleFrac = (idle + iowait) / totalCS
+	}
+	iv.MemUsedKB = sumGauge(cur, procfs.TypeMem, "MemUsed")
+
+	// FLOPS from whichever PMC block the architecture provides.
+	iv.Flops = sumDevices(prev, cur, procfs.TypeAMDPMC, "FLOPS") +
+		sumDevices(prev, cur, procfs.TypeIntelPMC, "FLOPS")
+
+	// Lustre client traffic by mount.
+	if devs, ok := cur.rec.Data[procfs.TypeLlite]; ok {
+		for dev := range devs {
+			c, _ := cur.get(procfs.TypeLlite, dev, "write_bytes")
+			p, _ := prev.get(procfs.TypeLlite, dev, "write_bytes")
+			d := eventDelta(p, c)
+			switch dev {
+			case "scratch":
+				iv.ScratchB += d
+			case "work":
+				iv.WorkB += d
+			}
+			cr, _ := cur.get(procfs.TypeLlite, dev, "read_bytes")
+			pr, _ := prev.get(procfs.TypeLlite, dev, "read_bytes")
+			iv.ReadB += eventDelta(pr, cr)
+		}
+	}
+	iv.IBTxB = sumDevices(prev, cur, procfs.TypeIB, "tx_bytes")
+	iv.IBRxB = sumDevices(prev, cur, procfs.TypeIB, "rx_bytes")
+	iv.LnetTxB = sumDevices(prev, cur, procfs.TypeLnet, "tx_bytes")
+	return iv
+}
+
+// sysBucket accumulates one sampling instant across hosts.
+type sysBucket struct {
+	hosts, busy            int
+	flops                  float64 // total FP ops over the interval
+	dt                     float64
+	memKB                  float64
+	user, sys, idle        float64
+	scratchB, workB, ibTxB float64
+	lnetTxB                float64
+}
+
+func (b *sysBucket) fold(iv Interval, busy bool) {
+	b.hosts++
+	if busy {
+		b.busy++
+	}
+	b.flops += iv.Flops
+	b.dt = iv.DtSec
+	b.memKB += iv.MemUsedKB
+	b.user += iv.UserFrac
+	b.sys += iv.SysFrac
+	b.idle += iv.IdleFrac
+	b.scratchB += iv.ScratchB
+	b.workB += iv.WorkB
+	b.ibTxB += iv.IBTxB
+	b.lnetTxB += iv.LnetTxB
+}
+
+func flattenBuckets(buckets map[int64]*sysBucket) []store.SystemSample {
+	times := make([]int64, 0, len(buckets))
+	for t := range buckets {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	out := make([]store.SystemSample, 0, len(times))
+	for _, t := range times {
+		b := buckets[t]
+		s := store.SystemSample{
+			Time:        t,
+			ActiveNodes: b.hosts,
+			BusyNodes:   b.busy,
+		}
+		if b.dt > 0 {
+			s.TotalTFlops = b.flops / b.dt / 1e12
+			s.ScratchMBps = b.scratchB / b.dt * bytesToMB
+			s.WorkMBps = b.workB / b.dt * bytesToMB
+			s.IBTxMBps = b.ibTxB / b.dt * bytesToMB
+			s.LnetTxMBps = b.lnetTxB / b.dt * bytesToMB
+		}
+		if b.hosts > 0 {
+			s.MemPerNode = b.memKB / float64(b.hosts) * kbToGB
+			s.CPUUserFrac = b.user / float64(b.hosts)
+			s.CPUSysFrac = b.sys / float64(b.hosts)
+			s.CPUIdleFrac = b.idle / float64(b.hosts)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func sortedDirs(entries []os.DirEntry) []os.DirEntry {
+	dirs := make([]os.DirEntry, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e)
+		}
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].Name() < dirs[j].Name() })
+	return dirs
+}
+
+// sortedRawFiles orders day files numerically ("2.raw" before "10.raw").
+func sortedRawFiles(entries []os.DirEntry) []os.DirEntry {
+	files := make([]os.DirEntry, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".raw") {
+			files = append(files, e)
+		}
+	}
+	dayOf := func(name string) int {
+		n, err := strconv.Atoi(strings.TrimSuffix(name, ".raw"))
+		if err != nil {
+			return 1 << 30
+		}
+		return n
+	}
+	sort.Slice(files, func(i, j int) bool { return dayOf(files[i].Name()) < dayOf(files[j].Name()) })
+	return files
+}

@@ -1,0 +1,129 @@
+package lariat
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"supremm/internal/workload"
+)
+
+func job(app string, status workload.ExitStatus, idleMul float64) *workload.Job {
+	apps := workload.DefaultApps()
+	return &workload.Job{
+		ID:    101,
+		User:  &workload.User{Name: "alice"},
+		App:   workload.AppByName(apps, app),
+		Nodes: 4, Status: status,
+		IdleMul: idleMul, Seed: 99,
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	r := Summarize(job("namd", workload.Completed, 1), 16)
+	if r.JobID != 101 || r.User != "alice" {
+		t.Errorf("identity: %+v", r)
+	}
+	if !strings.Contains(r.Executable, "namd") {
+		t.Errorf("exe = %q", r.Executable)
+	}
+	if r.MPIRanks != 64 {
+		t.Errorf("ranks = %d, want 64 (fully subscribed)", r.MPIRanks)
+	}
+	if r.ExitCode != 0 {
+		t.Errorf("exit = %d", r.ExitCode)
+	}
+	// Libraries include the app's MPI and the common base, sorted and
+	// deduplicated.
+	if !sort.StringsAreSorted(r.Libraries) {
+		t.Errorf("libraries not sorted: %v", r.Libraries)
+	}
+	seen := map[string]bool{}
+	for _, l := range r.Libraries {
+		if seen[l] {
+			t.Errorf("duplicate library %q", l)
+		}
+		seen[l] = true
+	}
+	if !seen["libmpi.so.1"] || !seen["libc.so.6"] {
+		t.Errorf("missing expected libraries: %v", r.Libraries)
+	}
+}
+
+func TestSummarizeUndersubscribed(t *testing.T) {
+	// serialfarm at 91% idle should report far fewer ranks than cores —
+	// the signal a support analyst uses for a Fig 5 diagnosis.
+	r := Summarize(job("serialfarm", workload.Completed, 1), 16)
+	if r.MPIRanks >= 16*4/2 {
+		t.Errorf("ranks = %d, want heavily undersubscribed", r.MPIRanks)
+	}
+	if r.MPIRanks < 4 {
+		t.Errorf("ranks = %d, at least one per node", r.MPIRanks)
+	}
+}
+
+func TestSummarizeExitCodes(t *testing.T) {
+	if r := Summarize(job("namd", workload.Failed, 1), 16); r.ExitCode == 0 {
+		t.Error("failed job should have nonzero exit")
+	}
+	if r := Summarize(job("namd", workload.Timeout, 1), 16); r.ExitCode != 137 {
+		t.Errorf("timeout exit = %d, want 137", r.ExitCode)
+	}
+	if r := Summarize(job("namd", workload.NodeFail, 1), 16); r.ExitCode != 255 {
+		t.Errorf("node-fail exit = %d, want 255", r.ExitCode)
+	}
+}
+
+func TestSummarizeDeterminism(t *testing.T) {
+	a := Summarize(job("amber", workload.Failed, 1), 16)
+	b := Summarize(job("amber", workload.Failed, 1), 16)
+	if a.ExitCode != b.ExitCode || a.MPIRanks != b.MPIRanks {
+		t.Error("same job should summarize identically")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := []Record{
+		Summarize(job("namd", workload.Completed, 1), 16),
+		Summarize(job("datamover", workload.Failed, 1), 16),
+	}
+	recs[1].JobID = 202
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].JobID != 101 || got[1].JobID != 202 {
+		t.Errorf("round trip: %+v", got)
+	}
+	if len(got[0].Libraries) != len(recs[0].Libraries) {
+		t.Error("libraries lost in round trip")
+	}
+	if _, err := Read(strings.NewReader("{oops")); err == nil {
+		t.Error("corrupt file should error")
+	}
+}
+
+func TestByJob(t *testing.T) {
+	recs := []Record{{JobID: 1}, {JobID: 5}}
+	m := ByJob(recs)
+	if len(m) != 2 || m[5].JobID != 5 {
+		t.Errorf("ByJob: %+v", m)
+	}
+}
+
+func TestUnknownAppStillGetsCommonLibs(t *testing.T) {
+	apps := workload.DefaultApps()
+	j := &workload.Job{
+		ID: 1, User: &workload.User{Name: "u"}, App: apps[0], Nodes: 1, Seed: 1,
+	}
+	j.App = &workload.App{Name: "mystery", Profile: apps[0].Profile}
+	r := Summarize(j, 16)
+	if len(r.Libraries) < 3 {
+		t.Errorf("unknown app libraries: %v", r.Libraries)
+	}
+}

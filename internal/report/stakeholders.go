@@ -1,0 +1,163 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"supremm/internal/anomaly"
+	"supremm/internal/core"
+	"supremm/internal/store"
+)
+
+// Stakeholder identifies one of the six §4.3 stakeholder classes.
+type Stakeholder string
+
+// The paper's stakeholder classes, §4.3.1-§4.3.6.
+const (
+	StakeholderUser      Stakeholder = "user"
+	StakeholderDeveloper Stakeholder = "developer"
+	StakeholderSupport   Stakeholder = "support"
+	StakeholderAdmin     Stakeholder = "admin"
+	StakeholderManager   Stakeholder = "manager"
+	StakeholderFunding   Stakeholder = "funding"
+)
+
+// Stakeholders lists the classes in paper order.
+func Stakeholders() []Stakeholder {
+	return []Stakeholder{
+		StakeholderUser, StakeholderDeveloper, StakeholderSupport,
+		StakeholderAdmin, StakeholderManager, StakeholderFunding,
+	}
+}
+
+// Suite renders the named stakeholder's report set, assembling the §4.3
+// reports that section assigns to the class. Realms beyond the first
+// enable the cross-system pieces (Fig 3, advice, comparison); a single
+// realm renders the single-system subset.
+func Suite(w io.Writer, who Stakeholder, realms ...*core.Realm) error {
+	if len(realms) == 0 {
+		return fmt.Errorf("report: suite needs at least one realm")
+	}
+	r := realms[0]
+	head := func(title string) {
+		fmt.Fprintf(w, "\n######## %s suite: %s ########\n", strings.ToUpper(string(who)), title)
+	}
+	switch who {
+	case StakeholderUser:
+		// §4.3.1: resource use profile, comparative use, anomalous
+		// patterns, system choice.
+		head("usage profiles (Fig 2)")
+		if err := Fig2(w, r, 3); err != nil {
+			return err
+		}
+		head("anomalous resource use")
+		for i, p := range r.AnomalousUsers(store.MetricCPUIdle, 3, 50) {
+			if i >= 2 {
+				break
+			}
+			if err := Radar(w, p); err != nil {
+				return err
+			}
+		}
+		if len(realms) > 1 {
+			head("which system suits the top codes (Fig 3 reading)")
+			for _, app := range []string{"namd", "amber", "gromacs"} {
+				choice := core.AdviseSystem(app, realms...)
+				if choice.Best != "" {
+					fmt.Fprintf(w, "  %-10s -> %s\n", app, choice.Best)
+				}
+			}
+		}
+		return nil
+	case StakeholderDeveloper:
+		// §4.3.2: app profiles, comparative profiles, variability.
+		head("application profiles (Fig 3)")
+		return Fig3(w, realms, []string{"namd", "amber", "gromacs"})
+	case StakeholderSupport:
+		// §4.3.3: inefficient users, abnormal terminations.
+		head("wasted node-hours (Fig 4)")
+		if err := Fig4(w, r); err != nil {
+			return err
+		}
+		head("the circled user (Fig 5)")
+		if err := Fig5(w, r); err != nil {
+			return err
+		}
+		head("job completion failure profiles")
+		t := NewTable("", "app", "jobs", "failure%")
+		for _, p := range anomaly.FailureProfiles(r.Store, store.ByApp, r.JobFilter()) {
+			t.AddRow(p.Key, fmt.Sprintf("%d", p.Jobs), fmt.Sprintf("%.1f", p.FailurePct))
+		}
+		return t.Render(w)
+	case StakeholderAdmin:
+		// §4.3.4: persistence/prediction, scheduler effectiveness.
+		tab, err := r.Persistence(10)
+		if err != nil {
+			return err
+		}
+		head("persistence (Table 1)")
+		if err := Table1(w, tab); err != nil {
+			return err
+		}
+		head("persistence fit (Fig 6)")
+		if err := Fig6(w, r.Cluster, tab); err != nil {
+			return err
+		}
+		head("forecasts and scheduling hints")
+		return ForecastReport(w, r)
+	case StakeholderManager:
+		// §4.3.5: workload characterization, system-level reports,
+		// trends.
+		head("system reports (Fig 7)")
+		if err := Fig7(w, r); err != nil {
+			return err
+		}
+		head("workload characterization")
+		if err := Characterization(w, r.Cluster, r.Characterize()); err != nil {
+			return err
+		}
+		head("resource use trends")
+		return Trends(w, r.Cluster, r.TrendReport())
+	case StakeholderFunding:
+		// §4.3.6: cross-system accountability.
+		head("system operation profiles (Figs 8-12 headlines)")
+		for _, f := range []func() error{
+			func() error { return Fig8(w, r) },
+			func() error { return Fig9(w, r) },
+			func() error { return Fig11(w, r) },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		head("usage by discipline over time")
+		t := NewTable("", "week start", "science", "node-hours", "share")
+		points := r.UsageByScienceOverTime(7)
+		for i, p := range points {
+			if i >= 18 {
+				t.AddRow("...", fmt.Sprintf("%d more rows", len(points)-18), "", "")
+				break
+			}
+			t.AddRow(fmt.Sprintf("%d", p.BucketStart), p.Science,
+				fmt.Sprintf("%.0f", p.NodeHours), fmt.Sprintf("%.0f%%", p.Share*100))
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if len(realms) > 1 {
+			head("cross-system comparison")
+			cmp := core.CompareSystems(realms...)
+			ct := NewTable("", "cluster", "node-hours", "efficiency", "allocated")
+			for _, row := range cmp.Rows {
+				ct.AddRow(row.Cluster, fmt.Sprintf("%.0f", row.NodeHours),
+					fmt.Sprintf("%.1f%%", row.Efficiency*100),
+					fmt.Sprintf("%.1f%%", row.AllocatedFraction*100))
+			}
+			return ct.Render(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("report: unknown stakeholder %q", who)
+	}
+}

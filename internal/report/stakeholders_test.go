@@ -1,0 +1,59 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSuiteRendersEveryStakeholder(t *testing.T) {
+	r := testRealm(t)
+	if len(Stakeholders()) != 6 {
+		t.Fatalf("stakeholder classes = %d, want the paper's 6", len(Stakeholders()))
+	}
+	for _, who := range Stakeholders() {
+		var buf bytes.Buffer
+		if err := Suite(&buf, who, r); err != nil {
+			t.Errorf("%s: %v", who, err)
+			continue
+		}
+		out := buf.String()
+		if len(out) < 200 {
+			t.Errorf("%s: suspiciously small suite (%d bytes)", who, len(out))
+		}
+		if !strings.Contains(out, strings.ToUpper(string(who))) {
+			t.Errorf("%s: missing suite banner", who)
+		}
+	}
+}
+
+func TestSuiteCrossSystemSections(t *testing.T) {
+	// With two realms the user suite gains system advice and the
+	// funding suite gains the comparison table.
+	r := testRealm(t)
+	var buf bytes.Buffer
+	if err := Suite(&buf, StakeholderUser, r, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "which system suits") {
+		t.Error("user suite missing cross-system advice")
+	}
+	buf.Reset()
+	if err := Suite(&buf, StakeholderFunding, r, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cross-system comparison") {
+		t.Error("funding suite missing comparison")
+	}
+}
+
+func TestSuiteErrors(t *testing.T) {
+	r := testRealm(t)
+	var buf bytes.Buffer
+	if err := Suite(&buf, Stakeholder("alien"), r); err == nil {
+		t.Error("unknown stakeholder should error")
+	}
+	if err := Suite(&buf, StakeholderUser); err == nil {
+		t.Error("no realms should error")
+	}
+}

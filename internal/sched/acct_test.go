@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"supremm/internal/workload"
+)
+
+func sampleRecord() AcctRecord {
+	return AcctRecord{
+		Cluster: "ranger", Owner: "user0042", JobName: "namd", JobID: 123456,
+		Account: "Molecular Biosciences",
+		Submit:  1307000000, Start: 1307000600, End: 1307036600,
+		Status: workload.Completed, Slots: 64,
+		NodeList: []string{"c001-001.ranger", "c001-002.ranger", "c001-003.ranger", "c001-004.ranger"},
+	}
+}
+
+func TestAcctRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	parsed, err := ParseAcct(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Cluster != r.Cluster || parsed.Owner != r.Owner ||
+		parsed.JobName != r.JobName || parsed.JobID != r.JobID ||
+		parsed.Account != r.Account || parsed.Submit != r.Submit ||
+		parsed.Start != r.Start || parsed.End != r.End ||
+		parsed.Status != r.Status || parsed.Slots != r.Slots ||
+		len(parsed.NodeList) != len(r.NodeList) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", r, parsed)
+	}
+	for i := range r.NodeList {
+		if parsed.NodeList[i] != r.NodeList[i] {
+			t.Fatalf("node %d: %q vs %q", i, parsed.NodeList[i], r.NodeList[i])
+		}
+	}
+}
+
+func TestAcctRoundTripAllStatuses(t *testing.T) {
+	for _, st := range []workload.ExitStatus{workload.Completed, workload.Failed, workload.Timeout, workload.NodeFail} {
+		r := sampleRecord()
+		r.Status = st
+		parsed, err := ParseAcct(r.String())
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if parsed.Status != st {
+			t.Errorf("status %v round-tripped to %v", st, parsed.Status)
+		}
+	}
+}
+
+func TestParseAcctErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"too:few:fields",
+		"ranger:u:app:NOTANUMBER:acct:1:2:3:COMPLETED:4:n1",
+		"ranger:u:app:1:acct:X:2:3:COMPLETED:4:n1",
+		"ranger:u:app:1:acct:1:X:3:COMPLETED:4:n1",
+		"ranger:u:app:1:acct:1:2:X:COMPLETED:4:n1",
+		"ranger:u:app:1:acct:1:2:3:WEIRD:4:n1",
+		"ranger:u:app:1:acct:1:2:3:COMPLETED:X:n1",
+	}
+	for _, line := range bad {
+		if _, err := ParseAcct(line); err == nil {
+			t.Errorf("expected error for %q", line)
+		}
+	}
+}
+
+func TestParseAcctEmptyNodeList(t *testing.T) {
+	r := sampleRecord()
+	r.NodeList = nil
+	parsed, err := ParseAcct(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.NodeList) != 0 {
+		t.Errorf("node list = %v, want empty", parsed.NodeList)
+	}
+}
+
+func TestWriteReadAcctFile(t *testing.T) {
+	records := []AcctRecord{sampleRecord(), sampleRecord()}
+	records[1].JobID = 2
+	records[1].Status = workload.Timeout
+	var buf bytes.Buffer
+	if err := WriteAcct(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	// Add comments and blanks like a real accounting file.
+	content := "# accounting file\n\n" + buf.String()
+	got, err := ReadAcct(strings.NewReader(content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records, want 2", len(got))
+	}
+	if got[1].JobID != 2 || got[1].Status != workload.Timeout {
+		t.Errorf("record 1: %+v", got[1])
+	}
+	// Corrupt file reports the line number.
+	_, err = ReadAcct(strings.NewReader("garbage line\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("corrupt file error = %v", err)
+	}
+}
+
+func TestAcctPropertyRoundTrip(t *testing.T) {
+	f := func(jobID int64, slots uint8, submit, dur uint32) bool {
+		if jobID < 0 {
+			jobID = -jobID
+		}
+		r := AcctRecord{
+			Cluster: "ranger", Owner: "u", JobName: "app", JobID: jobID,
+			Account: "Physics", Submit: int64(submit),
+			Start: int64(submit) + 60, End: int64(submit) + 60 + int64(dur),
+			Status: workload.Completed, Slots: int(slots),
+			NodeList: []string{"n1", "n2"},
+		}
+		parsed, err := ParseAcct(r.String())
+		return err == nil && parsed.JobID == r.JobID && parsed.End == r.End && parsed.Slots == r.Slots
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDerivedFields(t *testing.T) {
+	r := sampleRecord()
+	if r.WaitSec() != 600 {
+		t.Errorf("wait = %d", r.WaitSec())
+	}
+	if r.WallclockSec() != 36000 {
+		t.Errorf("wallclock = %d", r.WallclockSec())
+	}
+	if r.NodeCount() != 4 {
+		t.Errorf("nodes = %d", r.NodeCount())
+	}
+	if r.NodeHours() != 40 {
+		t.Errorf("node-hours = %v", r.NodeHours())
+	}
+}

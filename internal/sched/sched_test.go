@@ -1,0 +1,232 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"supremm/internal/cluster"
+	"supremm/internal/workload"
+)
+
+func testCluster(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.RangerConfig().Scaled(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func job(id int64, nodes int, submit, runtime float64) *workload.Job {
+	apps := workload.DefaultApps()
+	return &workload.Job{
+		ID:    id,
+		User:  &workload.User{ID: 1, Name: "alice", Science: workload.Physics},
+		App:   apps[0],
+		Nodes: nodes, SubmitMin: submit, RuntimeMin: runtime,
+		ReqMin: runtime * 1.5, Status: workload.Completed,
+	}
+}
+
+func TestFIFOStartAndFinish(t *testing.T) {
+	c := testCluster(t, 4)
+	s := New(c, 1_307_000_000)
+	s.Submit(job(1, 2, 0, 30))
+	s.Submit(job(2, 2, 0, 60))
+
+	started, finished := s.Step(0)
+	if len(started) != 2 || len(finished) != 0 {
+		t.Fatalf("t0: started=%d finished=%d", len(started), len(finished))
+	}
+	if c.BusyNodes() != 4 {
+		t.Fatalf("busy = %d, want 4", c.BusyNodes())
+	}
+	_, finished = s.Step(30)
+	if len(finished) != 1 || finished[0].Job.ID != 1 {
+		t.Fatalf("t30: finished %v", finished)
+	}
+	if c.BusyNodes() != 2 {
+		t.Fatalf("busy after finish = %d, want 2", c.BusyNodes())
+	}
+	_, finished = s.Step(60)
+	if len(finished) != 1 || finished[0].Job.ID != 2 {
+		t.Fatalf("t60: finished %v", finished)
+	}
+	if got := len(s.Accounting()); got != 2 {
+		t.Fatalf("accounting records = %d, want 2", got)
+	}
+}
+
+func TestFIFOBlocksWhenHeadDoesNotFit(t *testing.T) {
+	c := testCluster(t, 4)
+	s := New(c, 0)
+	s.Submit(job(1, 3, 0, 100))
+	s.Submit(job(2, 3, 0, 100)) // cannot fit beside job 1
+	started, _ := s.Step(0)
+	if len(started) != 1 {
+		t.Fatalf("started = %d, want 1", len(started))
+	}
+	if s.QueueLength() != 1 {
+		t.Fatalf("queue = %d, want 1", s.QueueLength())
+	}
+}
+
+func TestEASYBackfill(t *testing.T) {
+	c := testCluster(t, 4)
+	s := New(c, 0)
+	// Job 1 takes 3 nodes for 100 min. Head job 2 needs all 4 nodes.
+	// Job 3 needs 1 node for 50 min (ReqMin 75 < 100): it must backfill
+	// into the idle node without delaying job 2.
+	s.Submit(job(1, 3, 0, 100))
+	started, _ := s.Step(0)
+	if len(started) != 1 {
+		t.Fatal("setup failed")
+	}
+	s.Submit(job(2, 4, 1, 100))
+	s.Submit(job(3, 1, 2, 50))
+	started, _ = s.Step(2)
+	if len(started) != 1 || started[0].Job.ID != 3 {
+		t.Fatalf("backfill: started %+v, want job 3", started)
+	}
+	// A long job must NOT backfill (it would delay the head).
+	s.Submit(job(4, 1, 3, 2000))
+	started, _ = s.Step(3)
+	if len(started) != 0 {
+		t.Fatalf("long job should not backfill, started %v", started[0].Job.ID)
+	}
+	// When jobs 1 and 3 finish, head job 2 starts.
+	started, finished := s.Step(100)
+	if len(finished) != 2 {
+		t.Fatalf("finished = %d, want 2", len(finished))
+	}
+	if len(started) != 1 || started[0].Job.ID != 2 {
+		t.Fatalf("head start: %+v", started)
+	}
+}
+
+func TestBackfillSpareNodes(t *testing.T) {
+	// Head needs 3 of 4 busy-free nodes; one node is spare even when the
+	// head eventually runs, so a long 1-node job may take it.
+	c := testCluster(t, 4)
+	s := New(c, 0)
+	s.Submit(job(1, 2, 0, 100))
+	s.Step(0)
+	s.Submit(job(2, 3, 1, 100))  // head, needs 3 (only 2 idle)
+	s.Submit(job(3, 1, 2, 5000)) // long, but fits in the spare node
+	started, _ := s.Step(2)
+	// shadow: head starts when job 1 ends; avail = 2 idle + 2 = 4,
+	// spare = 4-3 = 1, so job 3 (1 node) backfills despite its length.
+	if len(started) != 1 || started[0].Job.ID != 3 {
+		t.Fatalf("spare-node backfill failed: %+v", started)
+	}
+}
+
+func TestOversizedJobDoesNotBlockForever(t *testing.T) {
+	c := testCluster(t, 2)
+	s := New(c, 0)
+	s.Submit(job(1, 100, 0, 10)) // can never fit
+	s.Submit(job(2, 1, 0, 10))
+	started, _ := s.Step(0)
+	// The oversized head gets a far-future shadow, so job 2 backfills.
+	if len(started) != 1 || started[0].Job.ID != 2 {
+		t.Fatalf("oversized head blocked the queue: %+v", started)
+	}
+}
+
+func TestKillJobAndNodeDown(t *testing.T) {
+	c := testCluster(t, 4)
+	s := New(c, 0)
+	s.Submit(job(1, 2, 0, 1000))
+	started, _ := s.Step(0)
+	rj := started[0]
+
+	killed := s.NodeDown(rj.Nodes[0], 50)
+	if killed == nil || killed.Job.ID != 1 {
+		t.Fatalf("NodeDown should kill job 1, got %v", killed)
+	}
+	if rj.Nodes[0].State != cluster.NodeDown {
+		t.Error("node should be down")
+	}
+	// The second node of the allocation goes back to idle.
+	if rj.Nodes[1].State != cluster.NodeIdle {
+		t.Error("surviving node should be idle")
+	}
+	acct := s.Accounting()
+	if len(acct) != 1 || acct[0].Status != workload.NodeFail {
+		t.Fatalf("acct = %+v, want NODE_FAIL", acct)
+	}
+	if acct[0].End != s.Epoch()+50*60 {
+		t.Errorf("end = %d, want %d", acct[0].End, s.Epoch()+50*60)
+	}
+	// Bring the node back.
+	s.NodeUp(rj.Nodes[0])
+	if rj.Nodes[0].State != cluster.NodeIdle {
+		t.Error("NodeUp should restore idle state")
+	}
+	// Killing an unknown job is a no-op.
+	if got := s.KillJob(999, 60, workload.Failed); got != nil {
+		t.Errorf("killing unknown job returned %v", got)
+	}
+	// NodeDown on an idle node kills nothing.
+	if got := s.NodeDown(c.Nodes[3], 60); got != nil {
+		t.Errorf("down on idle node returned %v", got)
+	}
+}
+
+func TestAccountingRecordFields(t *testing.T) {
+	c := testCluster(t, 2)
+	s := New(c, 1_000_000)
+	j := job(7, 2, 5, 30)
+	s.Submit(j)
+	s.Step(10) // starts at minute 10 (waited 5 min)
+	_, finished := s.Step(40)
+	if len(finished) != 1 {
+		t.Fatal("job did not finish")
+	}
+	r := s.Accounting()[0]
+	if r.JobID != 7 || r.Owner != "alice" || r.Cluster != "ranger" {
+		t.Errorf("record identity wrong: %+v", r)
+	}
+	if r.WaitSec() != 5*60 {
+		t.Errorf("wait = %d, want 300", r.WaitSec())
+	}
+	if r.WallclockSec() != 30*60 {
+		t.Errorf("wallclock = %d, want 1800", r.WallclockSec())
+	}
+	if r.NodeCount() != 2 || r.Slots != 32 {
+		t.Errorf("alloc: nodes=%d slots=%d", r.NodeCount(), r.Slots)
+	}
+	if r.NodeHours() != 1.0 {
+		t.Errorf("node-hours = %v, want 1", r.NodeHours())
+	}
+	if r.Account != string(workload.Physics) {
+		t.Errorf("account = %q", r.Account)
+	}
+}
+
+func TestSchedulerString(t *testing.T) {
+	s := New(testCluster(t, 2), 0)
+	if got := s.String(); !strings.Contains(got, "queued=0") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestDeterministicFinishOrder(t *testing.T) {
+	// Jobs ending at the same minute must complete in job-ID order so
+	// repeated runs produce identical accounting files.
+	for trial := 0; trial < 5; trial++ {
+		c := testCluster(t, 8)
+		s := New(c, 0)
+		for id := int64(1); id <= 8; id++ {
+			s.Submit(job(id, 1, 0, 10))
+		}
+		s.Step(0)
+		s.Step(10)
+		acct := s.Accounting()
+		for i, r := range acct {
+			if r.JobID != int64(i+1) {
+				t.Fatalf("trial %d: acct order %v", trial, acct)
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+
+	"supremm/internal/cluster"
+	"supremm/internal/eventlog"
+	"supremm/internal/sched"
+	"supremm/internal/workload"
+)
+
+// applyOutages drives shutdown windows, node repairs and random node
+// failures at time now.
+func (e *engine) applyOutages(now float64) {
+	// Whole-cluster shutdown windows (Fig 8's dips to zero).
+	inWindow := false
+	for _, s := range e.cfg.Shutdowns {
+		if now >= s.StartMin && now < s.StartMin+s.DurationMin {
+			inWindow = true
+			break
+		}
+	}
+	switch {
+	case inWindow && !e.downAll:
+		e.downAll = true
+		e.emit(eventlog.Event{
+			Time: e.unix(now), Host: "master", Severity: eventlog.Warning,
+			Component: "sge", Message: "scheduled maintenance: draining all nodes",
+		})
+		for _, n := range e.clu.Nodes {
+			if killed := e.sched.NodeDown(n, now); killed != nil {
+				e.jobKilledEvent(killed.Job, n.Hostname, now, "node shutdown during maintenance")
+				_ = e.finalize(killed, now, workload.NodeFail)
+			}
+		}
+	case !inWindow && e.downAll:
+		e.downAll = false
+		e.emit(eventlog.Event{
+			Time: e.unix(now), Host: "master", Severity: eventlog.Info,
+			Component: "sge", Message: "maintenance complete: nodes returning to service",
+		})
+		for _, n := range e.clu.Nodes {
+			// Individually failed nodes stay down until their repair.
+			if _, failed := e.repairs[n.Index]; !failed {
+				e.sched.NodeUp(n)
+			}
+		}
+	}
+
+	// Individual repairs due.
+	for idx, due := range e.repairs {
+		if now >= due && !e.downAll {
+			e.sched.NodeUp(e.clu.Nodes[idx])
+			delete(e.repairs, idx)
+			e.emit(eventlog.Event{
+				Time: e.unix(now), Host: e.clu.Nodes[idx].Hostname,
+				Severity: eventlog.Info, Component: "hw",
+				Message: "node repaired and returned to service",
+			})
+		}
+	}
+
+	// Random node failures: Poisson with per-node MTBF.
+	if e.cfg.NodeMTBFHours > 0 && !e.downAll {
+		p := e.cfg.StepMin / 60 / e.cfg.NodeMTBFHours // per node per step
+		expected := p * float64(len(e.clu.Nodes))
+		// Thin the Poisson draw with at most a few failures per step.
+		for expected > 0 {
+			if e.rng.Float64() < expected {
+				idx := e.rng.Intn(len(e.clu.Nodes))
+				n := e.clu.Nodes[idx]
+				if n.State != cluster.NodeDown {
+					// The lockup line precedes the scheduler's reaction,
+					// so the rationalizer still sees the job on the node.
+					e.emitRaw(e.rawSoftLockup(now), n.Hostname, 0)
+					killed := e.sched.NodeDown(n, now)
+					repair := e.cfg.NodeRepairMin
+					if repair <= 0 {
+						repair = 360
+					}
+					e.repairs[idx] = now + repair
+					if killed != nil {
+						e.jobKilledEvent(killed.Job, n.Hostname, now, "job killed by node failure")
+						_ = e.finalize(killed, now, workload.NodeFail)
+					}
+				}
+			}
+			expected--
+		}
+	}
+}
+
+// maybeEmitJobEvents produces the anomaly-precursor log traffic that
+// ANCOR-style analyses correlate with resource anomalies (§4.3.4):
+// Lustre timeouts under heavy IO and OOM warnings near memory capacity.
+func (e *engine) maybeEmitJobEvents(rj *sched.RunningJob, u workload.NodeUsage, sampleUnix int64) {
+	host := rj.Nodes[0].Hostname
+	// Heavy scratch writers occasionally trip Lustre RPC timeouts.
+	writeMBps := u.ScratchWriteB / (e.cfg.StepMin * 60) * 1e-6
+	if writeMBps > 30 && e.rng.Float64() < 0.02 {
+		e.emitRaw(rawLustreTimeout(), host, float64(sampleUnix-e.cfg.EpochUnix)/60)
+	}
+	// Jobs near the memory clamp risk the OOM killer.
+	capKB := e.cfg.Cluster.MemPerNodeGB * 1024 * 1024
+	if float64(u.MemUsedKB) > 0.93*capKB && e.rng.Float64() < 0.05 {
+		e.emitRaw(rawOOM(rj.Job.App.Name, 2000+e.rng.Intn(30000)), host,
+			float64(sampleUnix-e.cfg.EpochUnix)/60)
+	}
+}
+
+func (e *engine) unix(min float64) int64 { return e.cfg.EpochUnix + int64(min*60) }
+
+func (e *engine) emit(ev eventlog.Event) {
+	e.res.Events = append(e.res.Events, ev)
+}
+
+func (e *engine) jobKilledEvent(j *workload.Job, host string, now float64, msg string) {
+	e.emit(eventlog.Event{
+		Time: e.unix(now), Host: host, JobID: j.ID,
+		Severity: eventlog.Error, Component: "sge",
+		Message: fmt.Sprintf("%s (user %s app %s)", msg, j.User.Name, j.App.Name),
+	})
+}

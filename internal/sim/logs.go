@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"supremm/internal/eventlog"
+)
+
+// initRationalizer wires the engine's log path: kernel, Lustre and OOM
+// traffic is generated in its native raw format and normalized through
+// the eventlog rationalizer with a live job lookup — the same path a
+// production deployment runs (§1.3). Batch-system events carry their
+// job IDs natively and are emitted directly.
+func (e *engine) initRationalizer() {
+	e.hostIndex = make(map[string]int, len(e.clu.Nodes))
+	for i, n := range e.clu.Nodes {
+		e.hostIndex[n.Hostname] = i
+	}
+	lookup := func(host string, unix int64) int64 {
+		idx, ok := e.hostIndex[host]
+		if !ok {
+			return 0
+		}
+		return e.clu.Nodes[idx].JobID
+	}
+	e.rat = eventlog.NewRationalizer(lookup)
+	e.rat.Year = time.Unix(e.cfg.EpochUnix, 0).UTC().Year()
+}
+
+// emitRaw pushes one raw log line through the rationalizer.
+func (e *engine) emitRaw(raw, host string, nowMin float64) {
+	if e.rat == nil {
+		e.initRationalizer()
+	}
+	e.emit(e.rat.Rationalize(raw, host, e.unix(nowMin)))
+}
+
+// rawSoftLockup renders a kernel printk line; the timestamp rides in
+// the printk seconds field against the epoch boot time, exactly the
+// arithmetic the rationalizer must undo.
+func (e *engine) rawSoftLockup(nowMin float64) string {
+	secs := nowMin * 60
+	return fmt.Sprintf("<1>[%12.3f] BUG: soft lockup - CPU#%d stuck for 67s!",
+		secs, e.rng.Intn(e.cfg.Cluster.CoresPerNode()))
+}
+
+// rawLustreTimeout renders a LustreError line.
+func rawLustreTimeout() string {
+	return "LustreError: 11234:0:(client.c:1060:ptlrpc_expire_one_request()) @@@ Request sent has timed out for slow reply"
+}
+
+// rawOOM renders an OOM-killer line.
+func rawOOM(app string, pid int) string {
+	return fmt.Sprintf("Out of memory: Kill process %d (%s) score 905 or sacrifice child", pid, app)
+}
+
+// emitRationalized must see the raw line *before* the scheduler clears
+// the node's job assignment, so the lookup attributes it correctly.
+// The callers in faults.go are ordered accordingly.

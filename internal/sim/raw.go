@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+
+	"supremm/internal/cluster"
+	"supremm/internal/procfs"
+	"supremm/internal/sched"
+	"supremm/internal/workload"
+)
+
+// applyUsageToNodes translates one job-step's per-node usage into
+// counter increments on every allocated node's synthetic /proc snapshot
+// (raw mode). The mapping mirrors how a real kernel would account the
+// same activity: scheduler centiseconds per core, gauges per socket,
+// event bytes per device.
+func (e *engine) applyUsageToNodes(rj *sched.RunningJob, u workload.NodeUsage, dtMin float64) {
+	cfg := e.cfg.Cluster
+	cores := cfg.CoresPerNode()
+	sockets := cfg.SocketsPerNode
+	dtCS := dtMin * 60 * 100 // centiseconds per core
+
+	for _, n := range rj.Nodes {
+		snap := e.snaps[n.Index]
+
+		for c := 0; c < cores; c++ {
+			dev := fmt.Sprintf("%d", c)
+			snap.Add(procfs.TypeCPU, dev, "user", uint64(u.UserFrac*dtCS))
+			snap.Add(procfs.TypeCPU, dev, "system", uint64(u.SysFrac*dtCS))
+			snap.Add(procfs.TypeCPU, dev, "idle", uint64(u.IdleFrac*dtCS))
+			snap.Add(procfs.TypeCPU, dev, "iowait", uint64(u.IowaitFrac*dtCS))
+		}
+
+		perSocketKB := u.MemUsedKB / uint64(sockets)
+		totalKB := uint64(cfg.MemPerNodeGB * 1024 * 1024 / float64(sockets))
+		for s := 0; s < sockets; s++ {
+			dev := fmt.Sprintf("%d", s)
+			snap.Set(procfs.TypeMem, dev, "MemUsed", perSocketKB)
+			free := uint64(0)
+			if totalKB > perSocketKB {
+				free = totalKB - perSocketKB
+			}
+			snap.Set(procfs.TypeMem, dev, "MemFree", free)
+			snap.Set(procfs.TypeMem, dev, "Cached", u.BuffCacheKB/uint64(sockets))
+			snap.Add(procfs.TypeNUMA, dev, "numa_hit", uint64(u.MemAccess/float64(sockets)/1000))
+			snap.Add(procfs.TypeNUMA, dev, "numa_miss", uint64(u.NumaTraffic/float64(sockets)/10000))
+		}
+
+		snap.Add(procfs.TypeVM, "-", "pswpin", uint64(u.SwapIn))
+		snap.Add(procfs.TypeVM, "-", "pswpout", uint64(u.SwapOut))
+		snap.Add(procfs.TypeVM, "-", "pgpgin", uint64(u.PgPgInKB))
+		snap.Add(procfs.TypeVM, "-", "pgpgout", uint64(u.PgPgOutKB))
+		snap.Add(procfs.TypeVM, "-", "pgfault", uint64(u.PgFault))
+		snap.Add(procfs.TypeVM, "-", "pgmajfault", uint64(u.PgMajFault))
+
+		for _, dev := range cfg.EthernetDevices {
+			snap.Add(procfs.TypeNet, dev, "tx_bytes", uint64(u.EthTxB/float64(len(cfg.EthernetDevices))))
+			snap.Add(procfs.TypeNet, dev, "rx_bytes", uint64(u.EthRxB/float64(len(cfg.EthernetDevices))))
+		}
+
+		snap.Add(procfs.TypeIB, "mlx4_0.1", "tx_bytes", uint64(u.IBTxB))
+		snap.Add(procfs.TypeIB, "mlx4_0.1", "rx_bytes", uint64(u.IBRxB))
+		snap.Add(procfs.TypeIB, "mlx4_0.1", "tx_packets", uint64(u.IBTxB/2048))
+		snap.Add(procfs.TypeIB, "mlx4_0.1", "rx_packets", uint64(u.IBRxB/2048))
+
+		snap.Add(procfs.TypeLlite, "scratch", "write_bytes", uint64(u.ScratchWriteB))
+		snap.Add(procfs.TypeLlite, "work", "write_bytes", uint64(u.WorkWriteB))
+		if len(cfg.LustreMounts) > 2 {
+			snap.Add(procfs.TypeLlite, "share", "write_bytes", uint64(u.ShareWriteB))
+		}
+		snap.Add(procfs.TypeLlite, "scratch", "read_bytes", uint64(u.ReadB))
+		snap.Add(procfs.TypeLnet, "-", "tx_bytes", uint64(u.LnetTxB))
+		snap.Add(procfs.TypeLnet, "-", "rx_bytes", uint64(u.LnetRxB))
+
+		for _, dev := range cfg.BlockDevices {
+			snap.Add(procfs.TypeBlock, dev, "wr_sectors", uint64(u.BlockWrSectors))
+			snap.Add(procfs.TypeBlock, dev, "rd_sectors", uint64(u.BlockRdSectors))
+		}
+
+		snap.Add(procfs.TypeIRQ, "-", "hw_irq", uint64((u.IBTxB+u.IBRxB)/16384))
+		snap.Set(procfs.TypePS, "-", "load_1", uint64((1-u.IdleFrac)*float64(cores)*100))
+		snap.Set(procfs.TypePS, "-", "nr_running", uint64((1-u.IdleFrac)*float64(cores)+1))
+		snap.Add(procfs.TypePS, "-", "ctxt", uint64((1-u.IdleFrac)*float64(cores)*dtMin*60*2000))
+
+		// MPI runtimes hold SysV shared-memory segments for intra-node
+		// transport; the footprint tracks rank count.
+		snap.Set(procfs.TypeSysv, "-", "mem_used", uint64((1-u.IdleFrac)*float64(cores))*32<<20)
+		snap.Set(procfs.TypeSysv, "-", "segs_used", uint64((1-u.IdleFrac)*float64(cores))+1)
+		snap.Set(procfs.TypeTmpfs, "dev_shm", "bytes_used", uint64((1-u.IdleFrac)*float64(cores))*16<<20)
+
+		// Home directories ride NFS on clusters that mount it (LS4).
+		if cfg.HasNFS {
+			snap.Add(procfs.TypeNFS, "home", "write_bytes", uint64(u.WorkWriteB*0.1))
+			snap.Add(procfs.TypeNFS, "home", "read_bytes", uint64(u.ReadB*0.05))
+			snap.Add(procfs.TypeNFS, "home", "ops", uint64((u.WorkWriteB*0.1+u.ReadB*0.05)/32768))
+		}
+
+		pmcType := procfs.PMCType(cfg.Arch)
+		flopsPerCore := u.Flops / float64(cores)
+		for c := 0; c < cores; c++ {
+			dev := fmt.Sprintf("%d", c)
+			snap.Add(pmcType, dev, "FLOPS", uint64(flopsPerCore))
+			snap.Add(pmcType, dev, "NUMA_TRAFFIC", uint64(u.NumaTraffic/float64(cores)))
+			if cfg.Arch == cluster.AMDOpteron {
+				snap.Add(pmcType, dev, "MEM_ACCESS", uint64(u.MemAccess/float64(cores)))
+				snap.Add(pmcType, dev, "DCACHE_FILLS", uint64(u.CacheFills/float64(cores)))
+			} else {
+				snap.Add(pmcType, dev, "L1D_HITS", uint64(u.L1Hits/float64(cores)))
+			}
+		}
+	}
+}
+
+// sampleMonitors ticks every up node's monitor at the step boundary,
+// adding OS-background activity to idle nodes so their samples are not
+// frozen.
+func (e *engine) sampleMonitors(nowMin float64, running []*sched.RunningJob) {
+	unix := e.cfg.EpochUnix + int64(nowMin*60)
+	busy := make(map[int]bool)
+	for _, rj := range running {
+		for _, n := range rj.Nodes {
+			busy[n.Index] = true
+		}
+	}
+	dtCS := e.cfg.StepMin * 60 * 100
+	for i, n := range e.clu.Nodes {
+		if n.State == cluster.NodeDown { // down nodes do not report
+			continue
+		}
+		snap := e.snaps[i]
+		snap.Time = unix
+		if !busy[i] {
+			// Idle background: all cores idle, OS footprint only.
+			for c := 0; c < e.cfg.Cluster.CoresPerNode(); c++ {
+				snap.Add(procfs.TypeCPU, fmt.Sprintf("%d", c), "idle", uint64(dtCS*0.998))
+				snap.Add(procfs.TypeCPU, fmt.Sprintf("%d", c), "system", uint64(dtCS*0.002))
+			}
+			osKB := uint64(512 * 1024 / e.cfg.Cluster.SocketsPerNode)
+			for s := 0; s < e.cfg.Cluster.SocketsPerNode; s++ {
+				snap.Set(procfs.TypeMem, fmt.Sprintf("%d", s), "MemUsed", osKB)
+			}
+		}
+		// Errors are monitor-local (a full disk on one node does not
+		// stop the cluster); they surface via missing data at ingest.
+		_ = e.monitors[i].Sample()
+	}
+}

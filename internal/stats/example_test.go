@@ -1,0 +1,43 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"supremm/internal/stats"
+)
+
+func ExampleFitLinear() {
+	// Fit y = 3 + 2x.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{5, 7, 9, 11, 13}
+	fit, err := stats.FitLinear(xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("y = %.1f + %.1f*x (R2=%.2f)\n", fit.Intercept, fit.Slope, fit.R2)
+	fmt.Printf("prediction at x=10: %.1f\n", fit.Predict(10))
+	// Output:
+	// y = 3.0 + 2.0*x (R2=1.00)
+	// prediction at x=10: 23.0
+}
+
+func ExamplePersistenceRatio() {
+	// A perfectly persistent series (a slow ramp) has ratio ~0; the
+	// paper's Table 1 computes this at offsets of 10..1000 minutes.
+	series := make([]float64, 1000)
+	for i := range series {
+		series[i] = float64(i)
+	}
+	fmt.Printf("ramp, lag 1: %.2f\n", stats.PersistenceRatio(series, 1))
+	// Output:
+	// ramp, lag 1: 0.00
+}
+
+func ExampleWeightedMean() {
+	// The paper weights every job statistic by node-hours (sec 4.1).
+	idle := []float64{0.10, 0.50}      // two jobs' idle fractions
+	nodeHours := []float64{90.0, 10.0} // big job, small job
+	fmt.Printf("weighted idle: %.2f\n", stats.WeightedMean(idle, nodeHours))
+	// Output:
+	// weighted idle: 0.14
+}

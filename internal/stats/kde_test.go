@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 5
+	}
+	k := NewKDE(xs)
+	curve := k.Curve(-5, 15, 2001)
+	var integral float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].X - curve[i-1].X
+		integral += 0.5 * (curve[i].Density + curve[i-1].Density) * dx
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("density integrates to %v, want ~1", integral)
+	}
+}
+
+func TestKDEModeNearTrueMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() + 10
+	}
+	k := NewKDE(xs)
+	if m := k.Mode(); math.Abs(m-10) > 0.3 {
+		t.Errorf("mode = %v, want ~10", m)
+	}
+}
+
+func TestKDEBimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = rng.NormFloat64()*0.5 + 0
+		} else {
+			xs[i] = rng.NormFloat64()*0.5 + 8
+		}
+	}
+	k := NewKDE(xs)
+	// Density at the two modes should clearly exceed the valley.
+	d0, d8, valley := k.Density(0), k.Density(8), k.Density(4)
+	if d0 < 2*valley || d8 < 2*valley {
+		t.Errorf("bimodal structure lost: d(0)=%v d(8)=%v d(4)=%v", d0, d8, valley)
+	}
+}
+
+func TestScottBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	bw := ScottBandwidth(xs)
+	// For n=1000 standard normal: h ~= 1.06 * 1 * 1000^-0.2 ~= 0.266.
+	if bw < 0.15 || bw > 0.4 {
+		t.Errorf("bandwidth = %v, want ~0.27", bw)
+	}
+	if got := ScottBandwidth([]float64{1}); !math.IsNaN(got) {
+		t.Errorf("n=1 bandwidth should be NaN, got %v", got)
+	}
+	// Constant sample should still produce a positive token bandwidth.
+	if got := ScottBandwidth([]float64{2, 2, 2, 2}); !(got > 0) {
+		t.Errorf("constant sample bandwidth = %v, want > 0", got)
+	}
+}
+
+func TestKDEEmptyAndDegenerate(t *testing.T) {
+	k := NewKDE(nil)
+	if !math.IsNaN(k.Density(0)) {
+		t.Errorf("empty KDE density should be NaN")
+	}
+	if pts := k.SupportCurve(10); pts != nil {
+		t.Errorf("empty support curve should be nil")
+	}
+	if pts := NewKDE([]float64{1, 2, 3}).Curve(5, 5, 10); pts != nil {
+		t.Errorf("degenerate range should be nil")
+	}
+	if pts := NewKDE([]float64{1, 2, 3}).Curve(0, 5, 1); pts != nil {
+		t.Errorf("single-point grid should be nil")
+	}
+}
+
+func TestKDESymmetry(t *testing.T) {
+	xs := []float64{-3, -1, 0, 1, 3}
+	k := NewKDE(xs)
+	for _, x := range []float64{0.5, 1, 2, 4} {
+		if a, b := k.Density(x), k.Density(-x); math.Abs(a-b) > 1e-12 {
+			t.Errorf("symmetric sample asymmetric density at %v: %v vs %v", x, a, b)
+		}
+	}
+}
+
+func TestKDEWindowedEvaluationMatchesFull(t *testing.T) {
+	// The binary-search window optimization must not change results
+	// beyond the truncation tolerance of the 8-sigma cutoff.
+	rng := rand.New(rand.NewSource(23))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	k := NewKDE(xs)
+	h := k.Bandwidth
+	full := func(x float64) float64 {
+		var sum float64
+		for _, xi := range xs {
+			u := (x - xi) / h
+			sum += math.Exp(-0.5 * u * u)
+		}
+		return sum * invSqrt2Pi / (float64(len(xs)) * h)
+	}
+	for _, x := range []float64{0, 13.7, 50, 99, 120} {
+		if got, want := k.Density(x), full(x); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("windowed density at %v: %v vs %v", x, got, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.5, 1.5, 2.5, 2.6, 9.9, -1, 15}
+	h := NewHistogram(xs, 0, 10, 10)
+	if h.N != 7 {
+		t.Errorf("N = %d", h.N)
+	}
+	if h.Counts[0] != 2 { // 0.5 and clamped -1
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[2] != 2 { // 2.5, 2.6
+		t.Errorf("bin2 = %d, want 2", h.Counts[2])
+	}
+	if h.Counts[9] != 2 { // 9.9 and clamped 15
+		t.Errorf("bin9 = %d, want 2", h.Counts[9])
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != h.N {
+		t.Errorf("counts sum %d != N %d", total, h.N)
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+	if got := h.Fraction(0); !almostEqual(got, 2.0/7.0, 1e-12) {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+	empty := NewHistogram(nil, 0, 1, 0)
+	if len(empty.Counts) != 0 {
+		t.Errorf("zero-bin histogram should have no counts")
+	}
+}

@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks returns the fractional ranks of xs (average rank for ties),
+// 1-based, as used by rank statistics.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank correlation of the paired samples:
+// Pearson correlation of the rank vectors. It is robust to the heavy
+// tails of HPC resource metrics, which is why the analytics layer uses
+// it to cross-check the §4.2 metric-redundancy conclusions drawn from
+// Pearson.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+	// Ties share the average rank.
+	got = Ranks([]float64{5, 1, 5, 2})
+	want = []float64{3.5, 1, 3.5, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tied ranks = %v, want %v", got, want)
+		}
+	}
+	if len(Ranks(nil)) != 0 {
+		t.Error("empty ranks should be empty")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Spearman is exactly 1 for any monotone relationship, linear or not.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x) // wildly non-linear but monotone
+	}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone spearman = %v, want 1", got)
+	}
+	for i, x := range xs {
+		ys[i] = -x * x * x
+	}
+	if got := Spearman(xs, ys); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti-monotone spearman = %v, want -1", got)
+	}
+}
+
+func TestSpearmanRobustToOutliers(t *testing.T) {
+	// One wild outlier wrecks Pearson but barely moves Spearman.
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = xs[i] + 0.2*rng.NormFloat64()
+	}
+	clean := Spearman(xs, ys)
+	xs[0], ys[0] = 1e9, -1e9
+	dirtyS := Spearman(xs, ys)
+	dirtyP := Pearson(xs, ys)
+	if math.Abs(dirtyS-clean) > 0.05 {
+		t.Errorf("spearman moved %v -> %v on one outlier", clean, dirtyS)
+	}
+	// The single (1e9, -1e9) point dominates Pearson and flips its sign
+	// from ~+0.98 to ~-1: thoroughly wrecked.
+	if dirtyP > 0 {
+		t.Errorf("pearson = %v; expected the outlier to wreck it", dirtyP)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if !math.IsNaN(Spearman([]float64{1}, []float64{1})) {
+		t.Error("n=1 should be NaN")
+	}
+	if !math.IsNaN(Spearman([]float64{1, 2}, []float64{1})) {
+		t.Error("length mismatch should be NaN")
+	}
+	if !math.IsNaN(Spearman([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Error("constant series should be NaN")
+	}
+}

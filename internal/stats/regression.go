@@ -1,0 +1,186 @@
+package stats
+
+import "math"
+
+// LinearFit holds the result of a simple ordinary-least-squares regression
+// y = Intercept + Slope*x, including the significance statistics the paper
+// quotes for its persistence fits (Fig 6): standard errors, two-sided
+// p-values for each coefficient and the coefficient of determination.
+type LinearFit struct {
+	Slope        float64
+	Intercept    float64
+	SlopeSE      float64
+	InterceptSE  float64
+	SlopeP       float64 // two-sided p-value, H0: slope = 0
+	InterceptP   float64 // two-sided p-value, H0: intercept = 0
+	R2           float64
+	N            int
+	ResidualSE   float64 // sqrt(SSR/(n-2))
+	DegreesOfFre int     // n - 2
+}
+
+// FitLinear performs OLS of ys on xs. It requires at least three points
+// (for a meaningful residual variance); otherwise it returns ErrEmpty or
+// ErrLength.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, ErrLength
+	}
+	n := len(xs)
+	if n < 3 {
+		return LinearFit{}, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrEmpty
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	// Residual sum of squares and R^2.
+	var ssr float64
+	for i := range xs {
+		r := ys[i] - (intercept + slope*xs[i])
+		ssr += r * r
+	}
+	r2 := 1.0
+	if syy > 0 {
+		r2 = 1 - ssr/syy
+	}
+	dof := n - 2
+	resSE := math.Sqrt(ssr / float64(dof))
+	slopeSE := resSE / math.Sqrt(sxx)
+	var sumX2 float64
+	for _, x := range xs {
+		sumX2 += x * x
+	}
+	interceptSE := resSE * math.Sqrt(sumX2/(float64(n)*sxx))
+
+	fit := LinearFit{
+		Slope:        slope,
+		Intercept:    intercept,
+		SlopeSE:      slopeSE,
+		InterceptSE:  interceptSE,
+		R2:           r2,
+		N:            n,
+		ResidualSE:   resSE,
+		DegreesOfFre: dof,
+	}
+	if slopeSE > 0 {
+		fit.SlopeP = tTestP(slope/slopeSE, dof)
+	}
+	if interceptSE > 0 {
+		fit.InterceptP = tTestP(intercept/interceptSE, dof)
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// FitLogLinear performs OLS of ys against ln(xs): y = a + b*ln(x), the
+// logarithmic persistence model of §4.3.4. Non-positive xs are rejected.
+func FitLogLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, ErrLength
+	}
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return LinearFit{}, ErrEmpty
+		}
+		lx[i] = math.Log(x)
+	}
+	return FitLinear(lx, ys)
+}
+
+// tTestP returns the two-sided p-value of a t statistic with dof degrees
+// of freedom, computed from the regularized incomplete beta function.
+func tTestP(t float64, dof int) float64 {
+	if dof <= 0 {
+		return math.NaN()
+	}
+	v := float64(dof)
+	x := v / (v + t*t)
+	// P(|T| > |t|) = I_x(v/2, 1/2).
+	return regIncBeta(v/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a,b)
+// via the continued-fraction expansion (Numerical Recipes betacf form),
+// accurate to ~1e-12 for the parameter ranges used by t-tests.
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

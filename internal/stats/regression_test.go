@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-10) || !almostEqual(fit.Intercept, 3, 1e-10) {
+		t.Errorf("fit = %+v, want slope 2 intercept 3", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-10) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if !almostEqual(fit.Predict(10), 23, 1e-10) {
+		t.Errorf("Predict(10) = %v", fit.Predict(10))
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 500
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) / 10
+		ys[i] = 1.5 - 0.4*xs[i] + rng.NormFloat64()*0.5
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope+0.4) > 0.02 {
+		t.Errorf("slope = %v, want ~-0.4", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-1.5) > 0.15 {
+		t.Errorf("intercept = %v, want ~1.5", fit.Intercept)
+	}
+	if fit.SlopeP > 1e-6 {
+		t.Errorf("slope p-value = %v, should be highly significant", fit.SlopeP)
+	}
+	if fit.R2 < 0.8 {
+		t.Errorf("R2 = %v, want > 0.8", fit.R2)
+	}
+}
+
+func TestFitLinearInsignificantSlope(t *testing.T) {
+	// Pure noise: the slope p-value should usually be large. Use a fixed
+	// seed known to produce an insignificant fit.
+	rng := rand.New(rand.NewSource(12))
+	n := 60
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = rng.NormFloat64()
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SlopeP < 0.01 {
+		t.Errorf("noise slope p-value = %v, expected insignificant", fit.SlopeP)
+	}
+	if fit.R2 > 0.2 {
+		t.Errorf("noise R2 = %v, expected near 0", fit.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err != ErrLength {
+		t.Errorf("length mismatch: err = %v", err)
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1, 2}); err != ErrEmpty {
+		t.Errorf("too few points: err = %v", err)
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err != ErrEmpty {
+		t.Errorf("constant x: err = %v", err)
+	}
+}
+
+func TestFitLogLinear(t *testing.T) {
+	// y = -0.2 + 0.36*ln(x), the shape of the paper's Fig 6 Ranger fit.
+	xs := []float64{10, 30, 100, 500, 1000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = -0.2 + 0.36*math.Log(x)
+	}
+	fit, err := FitLogLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 0.36, 1e-9) || !almostEqual(fit.Intercept, -0.2, 1e-9) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if _, err := FitLogLinear([]float64{0, 1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("non-positive x should error")
+	}
+}
+
+func TestTTestPValueAgainstKnownValues(t *testing.T) {
+	// Reference values from R: 2*pt(-t, df).
+	cases := []struct {
+		t    float64
+		dof  int
+		want float64
+	}{
+		{2.0, 10, 0.07338803},
+		{1.0, 5, 0.3632175},
+		{3.5, 30, 0.001475},
+		{0.0, 20, 1.0},
+	}
+	for _, c := range cases {
+		got := tTestP(c.t, c.dof)
+		if math.Abs(got-c.want) > 2e-5 {
+			t.Errorf("tTestP(%v, %d) = %v, want %v", c.t, c.dof, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaProperties(t *testing.T) {
+	if got := regIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := regIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.8} {
+		a, b := 2.5, 1.5
+		lhs := regIncBeta(a, b, x)
+		rhs := 1 - regIncBeta(b, a, 1-x)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("symmetry at x=%v: %v vs %v", x, lhs, rhs)
+		}
+	}
+	// Monotonic in x.
+	prev := -1.0
+	for x := 0.0; x <= 1.0; x += 0.05 {
+		v := regIncBeta(3, 2, x)
+		if v < prev-1e-12 {
+			t.Errorf("not monotone at x=%v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,221 @@
+package store
+
+import (
+	"math"
+	"sort"
+)
+
+// Filter restricts a query to matching rows. Zero values mean "any".
+type Filter struct {
+	Cluster string
+	User    string
+	App     string
+	Science string
+	Status  string
+	// MinSamples excludes jobs with fewer monitor intervals; the paper
+	// analyzes only jobs longer than the 10-minute sampling interval.
+	MinSamples int
+	// Time window on job end (unix seconds); 0 means unbounded.
+	EndAfter  int64
+	EndBefore int64
+}
+
+// match reports whether row i passes the filter.
+func (s *Store) match(i int, f Filter) bool {
+	switch {
+	case f.Cluster != "" && s.cluster[i] != f.Cluster:
+		return false
+	case f.User != "" && s.user[i] != f.User:
+		return false
+	case f.App != "" && s.app[i] != f.App:
+		return false
+	case f.Science != "" && s.science[i] != f.Science:
+		return false
+	case f.Status != "" && s.status[i] != f.Status:
+		return false
+	case f.MinSamples > 0 && s.samples[i] < f.MinSamples:
+		return false
+	case f.EndAfter != 0 && s.end[i] < f.EndAfter:
+		return false
+	case f.EndBefore != 0 && s.end[i] >= f.EndBefore:
+		return false
+	}
+	return true
+}
+
+// Select returns the row indices passing the filter.
+func (s *Store) Select(f Filter) []int {
+	var idx []int
+	for i := 0; i < s.Len(); i++ {
+		if s.match(i, f) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Records returns materialized records passing the filter.
+func (s *Store) Records(f Filter) []JobRecord {
+	idx := s.Select(f)
+	out := make([]JobRecord, len(idx))
+	for p, i := range idx {
+		out[p] = s.Record(i)
+	}
+	return out
+}
+
+// Agg is a weighted aggregate of one metric over a row set.
+type Agg struct {
+	N         int
+	NodeHours float64
+	Mean      float64 // node-hour weighted
+	StdDev    float64 // node-hour weighted population sd
+	Min, Max  float64
+	// UnweightedMean is the plain per-job mean, kept for the ablation
+	// benchmark comparing weighted vs unweighted statistics.
+	UnweightedMean float64
+}
+
+// Aggregate computes the node-hour-weighted aggregate of metric m over
+// rows passing the filter.
+func (s *Store) Aggregate(m Metric, f Filter) Agg {
+	col := s.cols[m]
+	agg := Agg{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sw, swx, plain float64
+	idx := s.Select(f)
+	for _, i := range idx {
+		w := s.nodeHours(i)
+		v := col[i]
+		sw += w
+		swx += w * v
+		plain += v
+		if v < agg.Min {
+			agg.Min = v
+		}
+		if v > agg.Max {
+			agg.Max = v
+		}
+	}
+	agg.N = len(idx)
+	agg.NodeHours = sw
+	if agg.N == 0 {
+		agg.Mean, agg.StdDev, agg.Min, agg.Max = math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		agg.UnweightedMean = math.NaN()
+		return agg
+	}
+	agg.UnweightedMean = plain / float64(agg.N)
+	if sw == 0 {
+		agg.Mean, agg.StdDev = math.NaN(), math.NaN()
+		return agg
+	}
+	agg.Mean = swx / sw
+	var ss float64
+	for _, i := range idx {
+		d := col[i] - agg.Mean
+		ss += s.nodeHours(i) * d * d
+	}
+	agg.StdDev = math.Sqrt(ss / sw)
+	return agg
+}
+
+// GroupKey selects the grouping dimension.
+type GroupKey int
+
+// Grouping dimensions.
+const (
+	ByUser GroupKey = iota
+	ByApp
+	ByScience
+	ByCluster
+	ByStatus
+)
+
+func (s *Store) key(i int, k GroupKey) string {
+	switch k {
+	case ByUser:
+		return s.user[i]
+	case ByApp:
+		return s.app[i]
+	case ByScience:
+		return s.science[i]
+	case ByCluster:
+		return s.cluster[i]
+	case ByStatus:
+		return s.status[i]
+	default:
+		return ""
+	}
+}
+
+// Group is one group-by bucket.
+type Group struct {
+	Key       string
+	N         int
+	NodeHours float64
+	// Mean holds the node-hour-weighted mean of each requested metric.
+	Mean map[Metric]float64
+}
+
+// GroupBy computes node-hour-weighted means of the metrics per group,
+// over rows passing the filter, sorted by descending node-hours.
+func (s *Store) GroupBy(k GroupKey, metrics []Metric, f Filter) []Group {
+	type acc struct {
+		n   int
+		sw  float64
+		swx map[Metric]float64
+	}
+	accs := make(map[string]*acc)
+	for _, i := range s.Select(f) {
+		key := s.key(i, k)
+		a := accs[key]
+		if a == nil {
+			a = &acc{swx: make(map[Metric]float64)}
+			accs[key] = a
+		}
+		w := s.nodeHours(i)
+		a.n++
+		a.sw += w
+		for _, m := range metrics {
+			a.swx[m] += w * s.cols[m][i]
+		}
+	}
+	out := make([]Group, 0, len(accs))
+	for key, a := range accs {
+		g := Group{Key: key, N: a.n, NodeHours: a.sw, Mean: make(map[Metric]float64)}
+		for _, m := range metrics {
+			if a.sw > 0 {
+				g.Mean[m] = a.swx[m] / a.sw
+			} else {
+				g.Mean[m] = math.NaN()
+			}
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NodeHours != out[j].NodeHours {
+			return out[i].NodeHours > out[j].NodeHours
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Values extracts metric m for rows passing the filter, paired with
+// node-hour weights (for weighted statistics and KDE inputs).
+func (s *Store) Values(m Metric, f Filter) (vals, weights []float64) {
+	col := s.cols[m]
+	for _, i := range s.Select(f) {
+		vals = append(vals, col[i])
+		weights = append(weights, s.nodeHours(i))
+	}
+	return vals, weights
+}
+
+// TotalNodeHours sums weights over the filtered rows.
+func (s *Store) TotalNodeHours(f Filter) float64 {
+	var sw float64
+	for _, i := range s.Select(f) {
+		sw += s.nodeHours(i)
+	}
+	return sw
+}

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"supremm/internal/stats"
+)
+
+// SystemSample is one sampling interval's cluster-wide aggregate — the
+// system-level view of Figures 8 (active nodes), 9/10 (cluster FLOPS)
+// and 11/12 (memory per node), obtained "through aggregation of the
+// node (job) level data" (abstract).
+type SystemSample struct {
+	Time        int64   `json:"time"` // unix seconds (end of interval)
+	ActiveNodes int     `json:"active_nodes"`
+	BusyNodes   int     `json:"busy_nodes"`
+	QueuedJobs  int     `json:"queued_jobs"`
+	RunningJobs int     `json:"running_jobs"`
+	TotalTFlops float64 `json:"total_tflops"`    // cluster SSE TFLOP/s
+	MemPerNode  float64 `json:"mem_per_node_gb"` // mean GB over active nodes
+	CPUUserFrac float64 `json:"cpu_user"`        // over busy node core-time
+	CPUSysFrac  float64 `json:"cpu_sys"`
+	CPUIdleFrac float64 `json:"cpu_idle"`
+	ScratchMBps float64 `json:"io_scratch_write"` // cluster MB/s
+	WorkMBps    float64 `json:"io_work_write"`
+	ShareMBps   float64 `json:"io_share_write"`
+	IBTxMBps    float64 `json:"net_ib_tx"`
+	LnetTxMBps  float64 `json:"net_lnet_tx"`
+}
+
+// SeriesMetric extracts one named column from a SystemSample, using the
+// same metric vocabulary as the job-level store where they coincide.
+func (s SystemSample) SeriesMetric(name string) (float64, bool) {
+	switch name {
+	case "active_nodes":
+		return float64(s.ActiveNodes), true
+	case "busy_nodes":
+		return float64(s.BusyNodes), true
+	case "cpu_flops", "total_tflops":
+		return s.TotalTFlops, true
+	case "mem_used", "mem_per_node_gb":
+		return s.MemPerNode, true
+	case "cpu_idle":
+		return s.CPUIdleFrac, true
+	case "cpu_user":
+		return s.CPUUserFrac, true
+	case "cpu_sys":
+		return s.CPUSysFrac, true
+	case "io_scratch_write":
+		return s.ScratchMBps, true
+	case "io_work_write":
+		return s.WorkMBps, true
+	case "net_ib_tx":
+		return s.IBTxMBps, true
+	case "net_lnet_tx":
+		return s.LnetTxMBps, true
+	default:
+		return 0, false
+	}
+}
+
+// SeriesColumn extracts a named column across samples; unknown names
+// return nil.
+func SeriesColumn(samples []SystemSample, name string) []float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	if _, ok := samples[0].SeriesMetric(name); !ok {
+		return nil
+	}
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i], _ = s.SeriesMetric(name)
+	}
+	return out
+}
+
+// SaveSeries writes samples as JSON lines.
+func SaveSeries(w io.Writer, samples []SystemSample) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range samples {
+		if err := enc.Encode(samples[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSeries reads a JSON-lines series file.
+func LoadSeries(r io.Reader) ([]SystemSample, error) {
+	var out []SystemSample
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var s SystemSample
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("store: load series: %w", err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SeriesSummary summarizes a column of the series.
+func SeriesSummary(samples []SystemSample, name string) stats.Describe {
+	return stats.Summarize(SeriesColumn(samples, name))
+}

@@ -1,0 +1,249 @@
+// Package store is the embedded data warehouse standing in for the
+// paper's IBM Netezza appliance and MySQL database: job-level records
+// with the per-job metric summaries the SUPReMM analyses consume, held
+// in a column-oriented layout with filtering, grouping and node-hour-
+// weighted aggregation.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// JobRecord is one job's summary row: identity from the accounting join
+// plus per-job resource metrics computed over all nodes and sampling
+// intervals. Rates are per node; the paper's job-level statistics are
+// "calculated by the job weighted by node*hour" (§4.1), which Query
+// supports via NodeHours weighting.
+type JobRecord struct {
+	JobID   int64  `json:"job_id"`
+	Cluster string `json:"cluster"`
+	User    string `json:"user"`
+	App     string `json:"app"`
+	Science string `json:"science"`
+	Nodes   int    `json:"nodes"`
+
+	Submit int64  `json:"submit"` // unix seconds
+	Start  int64  `json:"start"`
+	End    int64  `json:"end"`
+	Status string `json:"status"`
+
+	// The eight key metrics of §4.2 and their companions.
+	CPUIdleFrac    float64 `json:"cpu_idle"`
+	CPUUserFrac    float64 `json:"cpu_user"`
+	CPUSysFrac     float64 `json:"cpu_sys"`
+	MemUsedGB      float64 `json:"mem_used"`         // mean per node
+	MemUsedMaxGB   float64 `json:"mem_used_max"`     // peak over nodes and intervals
+	FlopsGF        float64 `json:"cpu_flops"`        // mean GF/s per node
+	ScratchWriteMB float64 `json:"io_scratch_write"` // MB/s per node
+	WorkWriteMB    float64 `json:"io_work_write"`
+	ReadMB         float64 `json:"io_read"`
+	IBTxMB         float64 `json:"net_ib_tx"`
+	IBRxMB         float64 `json:"net_ib_rx"`
+	LnetTxMB       float64 `json:"net_lnet_tx"`
+
+	// Samples is how many monitor intervals contributed; the paper's
+	// analyses exclude jobs shorter than one sampling interval (§4.1).
+	Samples int `json:"samples"`
+}
+
+// WallclockSec returns the job's wall time.
+func (r *JobRecord) WallclockSec() int64 { return r.End - r.Start }
+
+// NodeHours returns nodes * wallclock hours, the §4.1 weighting.
+func (r *JobRecord) NodeHours() float64 {
+	return float64(r.Nodes) * float64(r.WallclockSec()) / 3600
+}
+
+// Metric identifies one numeric column of a JobRecord.
+type Metric string
+
+// Metric names follow the paper's vocabulary (§4.2).
+const (
+	MetricCPUIdle      Metric = "cpu_idle"
+	MetricCPUUser      Metric = "cpu_user"
+	MetricCPUSys       Metric = "cpu_sys"
+	MetricMemUsed      Metric = "mem_used"
+	MetricMemUsedMax   Metric = "mem_used_max"
+	MetricFlops        Metric = "cpu_flops"
+	MetricScratchWrite Metric = "io_scratch_write"
+	MetricWorkWrite    Metric = "io_work_write"
+	MetricRead         Metric = "io_read"
+	MetricIBTx         Metric = "net_ib_tx"
+	MetricIBRx         Metric = "net_ib_rx"
+	MetricLnetTx       Metric = "net_lnet_tx"
+)
+
+// KeyMetrics returns the paper's eight-metric independent set (§4.2).
+func KeyMetrics() []Metric {
+	return []Metric{
+		MetricCPUIdle, MetricMemUsed, MetricMemUsedMax, MetricFlops,
+		MetricScratchWrite, MetricWorkWrite, MetricIBTx, MetricLnetTx,
+	}
+}
+
+// AllMetrics returns every numeric column, for correlation analysis.
+func AllMetrics() []Metric {
+	return []Metric{
+		MetricCPUIdle, MetricCPUUser, MetricCPUSys, MetricMemUsed,
+		MetricMemUsedMax, MetricFlops, MetricScratchWrite,
+		MetricWorkWrite, MetricRead, MetricIBTx, MetricIBRx, MetricLnetTx,
+	}
+}
+
+// Value extracts a metric from a record.
+func (r *JobRecord) Value(m Metric) float64 {
+	switch m {
+	case MetricCPUIdle:
+		return r.CPUIdleFrac
+	case MetricCPUUser:
+		return r.CPUUserFrac
+	case MetricCPUSys:
+		return r.CPUSysFrac
+	case MetricMemUsed:
+		return r.MemUsedGB
+	case MetricMemUsedMax:
+		return r.MemUsedMaxGB
+	case MetricFlops:
+		return r.FlopsGF
+	case MetricScratchWrite:
+		return r.ScratchWriteMB
+	case MetricWorkWrite:
+		return r.WorkWriteMB
+	case MetricRead:
+		return r.ReadMB
+	case MetricIBTx:
+		return r.IBTxMB
+	case MetricIBRx:
+		return r.IBRxMB
+	case MetricLnetTx:
+		return r.LnetTxMB
+	default:
+		return 0
+	}
+}
+
+// Store holds job records in a column-oriented layout: identity columns
+// as slices plus one float64 column per metric, which keeps aggregation
+// scans cache-friendly (see BenchmarkStoreColumnarVsRows).
+type Store struct {
+	jobID   []int64
+	cluster []string
+	user    []string
+	app     []string
+	science []string
+	nodes   []int
+	submit  []int64
+	start   []int64
+	end     []int64
+	status  []string
+	samples []int
+
+	cols map[Metric][]float64
+}
+
+// New creates an empty store.
+func New() *Store {
+	s := &Store{cols: make(map[Metric][]float64)}
+	for _, m := range AllMetrics() {
+		s.cols[m] = nil
+	}
+	return s
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int { return len(s.jobID) }
+
+// Add appends one record.
+func (s *Store) Add(r JobRecord) {
+	s.jobID = append(s.jobID, r.JobID)
+	s.cluster = append(s.cluster, r.Cluster)
+	s.user = append(s.user, r.User)
+	s.app = append(s.app, r.App)
+	s.science = append(s.science, r.Science)
+	s.nodes = append(s.nodes, r.Nodes)
+	s.submit = append(s.submit, r.Submit)
+	s.start = append(s.start, r.Start)
+	s.end = append(s.end, r.End)
+	s.status = append(s.status, r.Status)
+	s.samples = append(s.samples, r.Samples)
+	for _, m := range AllMetrics() {
+		s.cols[m] = append(s.cols[m], r.Value(m))
+	}
+}
+
+// Record materializes row i back into a JobRecord.
+func (s *Store) Record(i int) JobRecord {
+	r := JobRecord{
+		JobID: s.jobID[i], Cluster: s.cluster[i], User: s.user[i],
+		App: s.app[i], Science: s.science[i], Nodes: s.nodes[i],
+		Submit: s.submit[i], Start: s.start[i], End: s.end[i],
+		Status: s.status[i], Samples: s.samples[i],
+	}
+	r.CPUIdleFrac = s.cols[MetricCPUIdle][i]
+	r.CPUUserFrac = s.cols[MetricCPUUser][i]
+	r.CPUSysFrac = s.cols[MetricCPUSys][i]
+	r.MemUsedGB = s.cols[MetricMemUsed][i]
+	r.MemUsedMaxGB = s.cols[MetricMemUsedMax][i]
+	r.FlopsGF = s.cols[MetricFlops][i]
+	r.ScratchWriteMB = s.cols[MetricScratchWrite][i]
+	r.WorkWriteMB = s.cols[MetricWorkWrite][i]
+	r.ReadMB = s.cols[MetricRead][i]
+	r.IBTxMB = s.cols[MetricIBTx][i]
+	r.IBRxMB = s.cols[MetricIBRx][i]
+	r.LnetTxMB = s.cols[MetricLnetTx][i]
+	return r
+}
+
+// nodeHours returns the §4.1 weight for row i.
+func (s *Store) nodeHours(i int) float64 {
+	return float64(s.nodes[i]) * float64(s.end[i]-s.start[i]) / 3600
+}
+
+// Save writes the store as JSON lines.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := 0; i < s.Len(); i++ {
+		if err := enc.Encode(s.Record(i)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a JSON-lines store file.
+func Load(r io.Reader) (*Store, error) {
+	s := New()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec JobRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("store: load: %w", err)
+		}
+		s.Add(rec)
+	}
+	return s, nil
+}
+
+// SortByJobID orders rows by job ID for deterministic output.
+func (s *Store) SortByJobID() {
+	idx := make([]int, s.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.jobID[idx[a]] < s.jobID[idx[b]] })
+	recs := make([]JobRecord, s.Len())
+	for pos, i := range idx {
+		recs[pos] = s.Record(i)
+	}
+	*s = *New()
+	for _, r := range recs {
+		s.Add(r)
+	}
+}

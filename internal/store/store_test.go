@@ -1,0 +1,259 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func rec(id int64, user, app string, nodes int, hours float64, idle, flops float64) JobRecord {
+	return JobRecord{
+		JobID: id, Cluster: "ranger", User: user, App: app,
+		Science: "Physics", Nodes: nodes,
+		Submit: 1000, Start: 2000, End: 2000 + int64(hours*3600),
+		Status: "COMPLETED", Samples: int(hours * 6),
+		CPUIdleFrac: idle, CPUUserFrac: 1 - idle - 0.05, CPUSysFrac: 0.05,
+		MemUsedGB: 8, MemUsedMaxGB: 12, FlopsGF: flops,
+		ScratchWriteMB: 1.5, WorkWriteMB: 0.1, ReadMB: 0.5,
+		IBTxMB: 20, IBRxMB: 19, LnetTxMB: 2,
+	}
+}
+
+func TestAddAndRecordRoundTrip(t *testing.T) {
+	s := New()
+	r := rec(1, "alice", "namd", 4, 2, 0.1, 5)
+	s.Add(r)
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	got := s.Record(0)
+	if got != r {
+		t.Errorf("round trip:\n in  %+v\n out %+v", r, got)
+	}
+}
+
+func TestJobRecordDerived(t *testing.T) {
+	r := rec(1, "a", "x", 4, 2, 0.1, 5)
+	if r.WallclockSec() != 7200 {
+		t.Errorf("wallclock = %d", r.WallclockSec())
+	}
+	if r.NodeHours() != 8 {
+		t.Errorf("node-hours = %v", r.NodeHours())
+	}
+}
+
+func TestValueCoversAllMetrics(t *testing.T) {
+	r := rec(1, "a", "x", 4, 2, 0.1, 5)
+	for _, m := range AllMetrics() {
+		if math.IsNaN(r.Value(m)) {
+			t.Errorf("metric %s is NaN", m)
+		}
+	}
+	if r.Value(Metric("bogus")) != 0 {
+		t.Error("unknown metric should read 0")
+	}
+	if len(KeyMetrics()) != 8 {
+		t.Errorf("key metrics = %d, want 8 (the paper's set)", len(KeyMetrics()))
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	s := New()
+	s.Add(rec(1, "alice", "namd", 4, 2, 0.1, 5))
+	s.Add(rec(2, "bob", "amber", 2, 1, 0.3, 2))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d records", loaded.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if loaded.Record(i) != s.Record(i) {
+			t.Errorf("record %d differs after save/load", i)
+		}
+	}
+	if _, err := Load(strings.NewReader("{bad json")); err == nil {
+		t.Error("corrupt file should error")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := New()
+	s.Add(rec(1, "alice", "namd", 4, 2, 0.1, 5))
+	s.Add(rec(2, "bob", "amber", 2, 1, 0.3, 2))
+	s.Add(rec(3, "alice", "amber", 2, 3, 0.2, 3))
+	short := rec(4, "alice", "namd", 1, 0.05, 0.1, 5)
+	short.Samples = 0
+	s.Add(short)
+	failed := rec(5, "bob", "namd", 1, 1, 0.1, 5)
+	failed.Status = "FAILED"
+	s.Add(failed)
+
+	if got := len(s.Select(Filter{})); got != 5 {
+		t.Errorf("no filter: %d rows", got)
+	}
+	if got := len(s.Select(Filter{User: "alice"})); got != 3 {
+		t.Errorf("user filter: %d rows", got)
+	}
+	if got := len(s.Select(Filter{App: "amber"})); got != 2 {
+		t.Errorf("app filter: %d rows", got)
+	}
+	if got := len(s.Select(Filter{MinSamples: 1})); got != 4 {
+		t.Errorf("min samples: %d rows", got)
+	}
+	if got := len(s.Select(Filter{Status: "FAILED"})); got != 1 {
+		t.Errorf("status filter: %d rows", got)
+	}
+	if got := len(s.Select(Filter{User: "alice", App: "namd", MinSamples: 1})); got != 1 {
+		t.Errorf("combined filter: %d rows", got)
+	}
+	if got := len(s.Select(Filter{Cluster: "lonestar4"})); got != 0 {
+		t.Errorf("cluster filter: %d rows", got)
+	}
+	if got := len(s.Select(Filter{Science: "Physics"})); got != 5 {
+		t.Errorf("science filter: %d rows", got)
+	}
+	// Time window on End: first record ends at 2000+7200.
+	if got := len(s.Select(Filter{EndAfter: 9000})); got != 2 {
+		t.Errorf("EndAfter: %d rows", got)
+	}
+	if got := len(s.Select(Filter{EndBefore: 9000})); got != 3 {
+		t.Errorf("EndBefore: %d rows", got)
+	}
+	recs := s.Records(Filter{User: "bob"})
+	if len(recs) != 2 || recs[0].User != "bob" {
+		t.Errorf("Records: %+v", recs)
+	}
+}
+
+func TestAggregateWeighted(t *testing.T) {
+	s := New()
+	// Job 1: 8 node-hours at idle 0.1; job 2: 2 node-hours at idle 0.5.
+	s.Add(rec(1, "a", "x", 4, 2, 0.1, 5))
+	s.Add(rec(2, "b", "y", 2, 1, 0.5, 5))
+	agg := s.Aggregate(MetricCPUIdle, Filter{})
+	want := (8*0.1 + 2*0.5) / 10
+	if math.Abs(agg.Mean-want) > 1e-12 {
+		t.Errorf("weighted mean = %v, want %v", agg.Mean, want)
+	}
+	if math.Abs(agg.UnweightedMean-0.3) > 1e-12 {
+		t.Errorf("unweighted mean = %v, want 0.3", agg.UnweightedMean)
+	}
+	if agg.N != 2 || agg.NodeHours != 10 {
+		t.Errorf("agg counts: %+v", agg)
+	}
+	if agg.Min != 0.1 || agg.Max != 0.5 {
+		t.Errorf("min/max: %+v", agg)
+	}
+	// Weighted stddev about weighted mean.
+	mu := want
+	wantSD := math.Sqrt((8*(0.1-mu)*(0.1-mu) + 2*(0.5-mu)*(0.5-mu)) / 10)
+	if math.Abs(agg.StdDev-wantSD) > 1e-12 {
+		t.Errorf("weighted sd = %v, want %v", agg.StdDev, wantSD)
+	}
+	// Empty aggregate is NaN, not a panic.
+	empty := s.Aggregate(MetricCPUIdle, Filter{User: "nobody"})
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Errorf("empty agg: %+v", empty)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	s := New()
+	s.Add(rec(1, "alice", "namd", 4, 2, 0.1, 5))  // 8 nh
+	s.Add(rec(2, "alice", "amber", 2, 1, 0.3, 2)) // 2 nh
+	s.Add(rec(3, "bob", "namd", 1, 4, 0.2, 3))    // 4 nh
+	groups := s.GroupBy(ByUser, []Metric{MetricCPUIdle}, Filter{})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	// Sorted by node-hours descending: alice (10) then bob (4).
+	if groups[0].Key != "alice" || groups[1].Key != "bob" {
+		t.Errorf("order: %v, %v", groups[0].Key, groups[1].Key)
+	}
+	wantAlice := (8*0.1 + 2*0.3) / 10
+	if math.Abs(groups[0].Mean[MetricCPUIdle]-wantAlice) > 1e-12 {
+		t.Errorf("alice idle = %v, want %v", groups[0].Mean[MetricCPUIdle], wantAlice)
+	}
+	if groups[0].N != 2 || groups[1].N != 1 {
+		t.Errorf("group Ns: %d, %d", groups[0].N, groups[1].N)
+	}
+	byApp := s.GroupBy(ByApp, []Metric{MetricFlops}, Filter{})
+	if len(byApp) != 2 || byApp[0].Key != "namd" {
+		t.Errorf("by app: %+v", byApp)
+	}
+	byScience := s.GroupBy(ByScience, nil, Filter{})
+	if len(byScience) != 1 || byScience[0].Key != "Physics" {
+		t.Errorf("by science: %+v", byScience)
+	}
+	byCluster := s.GroupBy(ByCluster, nil, Filter{})
+	if len(byCluster) != 1 || byCluster[0].Key != "ranger" {
+		t.Errorf("by cluster: %+v", byCluster)
+	}
+	byStatus := s.GroupBy(ByStatus, nil, Filter{})
+	if len(byStatus) != 1 || byStatus[0].Key != "COMPLETED" {
+		t.Errorf("by status: %+v", byStatus)
+	}
+}
+
+func TestValuesAndTotalNodeHours(t *testing.T) {
+	s := New()
+	s.Add(rec(1, "a", "x", 4, 2, 0.1, 5))
+	s.Add(rec(2, "b", "y", 2, 1, 0.5, 7))
+	vals, weights := s.Values(MetricFlops, Filter{})
+	if len(vals) != 2 || vals[0] != 5 || vals[1] != 7 {
+		t.Errorf("vals = %v", vals)
+	}
+	if weights[0] != 8 || weights[1] != 2 {
+		t.Errorf("weights = %v", weights)
+	}
+	if got := s.TotalNodeHours(Filter{}); got != 10 {
+		t.Errorf("total nh = %v", got)
+	}
+	if got := s.TotalNodeHours(Filter{User: "a"}); got != 8 {
+		t.Errorf("filtered nh = %v", got)
+	}
+}
+
+func TestSortByJobID(t *testing.T) {
+	s := New()
+	s.Add(rec(3, "c", "z", 1, 1, 0.1, 1))
+	s.Add(rec(1, "a", "x", 1, 1, 0.1, 1))
+	s.Add(rec(2, "b", "y", 1, 1, 0.1, 1))
+	s.SortByJobID()
+	for i := 0; i < 3; i++ {
+		if s.Record(i).JobID != int64(i+1) {
+			t.Fatalf("row %d: job %d", i, s.Record(i).JobID)
+		}
+	}
+}
+
+func TestSaveLoadPropertyRoundTrip(t *testing.T) {
+	f := func(id int64, nodes uint8, idle8 uint8, flops uint16) bool {
+		if id < 0 {
+			id = -id
+		}
+		r := rec(id, "u", "app", int(nodes)+1, 1, float64(idle8)/255, float64(flops))
+		s := New()
+		s.Add(r)
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			return false
+		}
+		loaded, err := Load(&buf)
+		if err != nil || loaded.Len() != 1 {
+			return false
+		}
+		return loaded.Record(0) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package taccstats reproduces the TACC_Stats resource monitor (§3): a
+// single agent that samples every performance-measurement function of
+// sysstat and more, outputs a unified, self-describing plain-text format,
+// is batch-job aware (records are tagged with the job ID, with explicit
+// begin/end marks), reprograms hardware performance counters at job start
+// and only reads them at periodic samples, and rotates raw files daily.
+//
+// The on-disk format follows the deployed tool's layout:
+//
+//	$tacc_stats 2.0
+//	$hostname c101-301.ranger
+//	$arch amd64_opteron
+//	!cpu user,E,U=cs nice,E,U=cs ...
+//	!mem MemTotal,U=KB MemUsed,U=KB ...
+//	1307000600 begin 123456
+//	cpu 0 4000 0 100 59000 20 0 0
+//	mem 0 8388608 524288 ...
+//	1307001200
+//	cpu 0 4400 0 110 64800 22 0 0
+//	...
+//	1307036600 end 123456
+//
+// Header lines begin with '$', schema lines with '!', a record starts
+// with a timestamp line (optionally carrying a job mark) and continues
+// with "type device value..." lines until the next timestamp.
+package taccstats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"supremm/internal/procfs"
+)
+
+// FormatVersion is written in the file preamble.
+const FormatVersion = "2.0"
+
+// Writer emits the raw TACC_Stats format for one node.
+type Writer struct {
+	w       *bufio.Writer
+	written int64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// BytesWritten reports the bytes emitted so far (§3's data volume
+// accounting: ~0.5 MB per node per day on Ranger).
+func (w *Writer) BytesWritten() int64 { return w.written }
+
+// WriteHeader emits the preamble and the schema block for every stat
+// type registered in the snapshot, in registration order.
+func (w *Writer) WriteHeader(snap *procfs.Snapshot, arch string) error {
+	if err := w.printf("$tacc_stats %s\n", FormatVersion); err != nil {
+		return err
+	}
+	if err := w.printf("$hostname %s\n", snap.Hostname); err != nil {
+		return err
+	}
+	if err := w.printf("$arch %s\n", arch); err != nil {
+		return err
+	}
+	for _, name := range snap.TypeNames() {
+		ts := snap.Type(name)
+		parts := make([]string, len(ts.Schema))
+		for i, k := range ts.Schema {
+			parts[i] = k.String()
+		}
+		if err := w.printf("!%s %s\n", name, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
+// WriteRecord emits one full sample of every registered type. mark is
+// "" for periodic samples, or "begin JOBID" / "end JOBID" / "rotate" for
+// the job-aware markers.
+func (w *Writer) WriteRecord(snap *procfs.Snapshot, mark string) error {
+	if mark != "" {
+		if err := w.printf("%d %s\n", snap.Time, mark); err != nil {
+			return err
+		}
+	} else {
+		if err := w.printf("%d\n", snap.Time); err != nil {
+			return err
+		}
+	}
+	var sb strings.Builder
+	for _, name := range snap.TypeNames() {
+		ts := snap.Type(name)
+		for _, dev := range ts.Devices() {
+			sb.Reset()
+			sb.WriteString(name)
+			sb.WriteByte(' ')
+			sb.WriteString(dev)
+			for _, v := range ts.Values(dev) {
+				sb.WriteByte(' ')
+				sb.WriteString(strconv.FormatUint(v, 10))
+			}
+			sb.WriteByte('\n')
+			if err := w.printString(sb.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) printf(format string, args ...any) error {
+	n, err := fmt.Fprintf(w.w, format, args...)
+	w.written += int64(n)
+	return err
+}
+
+func (w *Writer) printString(s string) error {
+	n, err := w.w.WriteString(s)
+	w.written += int64(n)
+	return err
+}
+
+// Record is one parsed sample: a timestamp, an optional job mark, and
+// the value vectors keyed by type then device.
+type Record struct {
+	Time int64
+	// Mark is "", "begin", "end" or "rotate".
+	Mark string
+	// JobID accompanies begin/end marks.
+	JobID int64
+	Data  map[string]map[string][]uint64
+}
+
+// File is a fully parsed raw file.
+type File struct {
+	Hostname string
+	Arch     string
+	Version  string
+	Schemas  map[string]procfs.Schema
+	Records  []Record
+}
+
+// ParseFile reads a complete raw file.
+func ParseFile(r io.Reader) (*File, error) {
+	f := &File{Schemas: make(map[string]procfs.Schema)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+
+	var cur *Record
+	lineNo := 0
+	flush := func() {
+		if cur != nil {
+			f.Records = append(f.Records, *cur)
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch line[0] {
+		case '$':
+			if err := f.parseHeader(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		case '!':
+			name, schema, err := parseSchemaLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			f.Schemas[name] = schema
+		default:
+			if line[0] >= '0' && line[0] <= '9' {
+				// Timestamp line: new record.
+				flush()
+				rec, err := parseTimestampLine(line)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				cur = rec
+				continue
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: data before first timestamp", lineNo)
+			}
+			if err := parseDataLine(line, f.Schemas, cur); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return f, nil
+}
+
+func (f *File) parseHeader(line string) error {
+	fields := strings.SplitN(line[1:], " ", 2)
+	if len(fields) != 2 {
+		return fmt.Errorf("malformed header %q", line)
+	}
+	switch fields[0] {
+	case "tacc_stats":
+		f.Version = fields[1]
+	case "hostname":
+		f.Hostname = fields[1]
+	case "arch":
+		f.Arch = fields[1]
+	default:
+		// Unknown headers are tolerated (forward compatibility), as the
+		// deployed parser does.
+	}
+	return nil
+}
+
+func parseSchemaLine(line string) (string, procfs.Schema, error) {
+	fields := strings.Fields(line[1:])
+	if len(fields) < 2 {
+		return "", nil, fmt.Errorf("malformed schema %q", line)
+	}
+	name := fields[0]
+	schema := make(procfs.Schema, 0, len(fields)-1)
+	for _, spec := range fields[1:] {
+		parts := strings.Split(spec, ",")
+		k := procfs.Key{Name: parts[0]}
+		for _, p := range parts[1:] {
+			switch {
+			case p == "E":
+				k.Class = procfs.Event
+			case strings.HasPrefix(p, "U="):
+				k.Unit = p[2:]
+			default:
+				return "", nil, fmt.Errorf("unknown key annotation %q in %q", p, spec)
+			}
+		}
+		schema = append(schema, k)
+	}
+	return name, schema, nil
+}
+
+func parseTimestampLine(line string) (*Record, error) {
+	fields := strings.Fields(line)
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad timestamp %q", fields[0])
+	}
+	rec := &Record{Time: ts, Data: make(map[string]map[string][]uint64)}
+	switch len(fields) {
+	case 1:
+	case 2:
+		if fields[1] != "rotate" {
+			return nil, fmt.Errorf("unknown bare mark %q", fields[1])
+		}
+		rec.Mark = fields[1]
+	case 3:
+		if fields[1] != "begin" && fields[1] != "end" {
+			return nil, fmt.Errorf("unknown job mark %q", fields[1])
+		}
+		rec.Mark = fields[1]
+		id, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad job id %q", fields[2])
+		}
+		rec.JobID = id
+	default:
+		return nil, fmt.Errorf("malformed timestamp line %q", line)
+	}
+	return rec, nil
+}
+
+func parseDataLine(line string, schemas map[string]procfs.Schema, rec *Record) error {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed data line %q", line)
+	}
+	typ, dev := fields[0], fields[1]
+	schema, ok := schemas[typ]
+	if !ok {
+		return fmt.Errorf("data for undeclared type %q", typ)
+	}
+	if len(fields)-2 != len(schema) {
+		return fmt.Errorf("type %q: %d values for %d-key schema", typ, len(fields)-2, len(schema))
+	}
+	vals := make([]uint64, len(schema))
+	for i, s := range fields[2:] {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	devs := rec.Data[typ]
+	if devs == nil {
+		devs = make(map[string][]uint64)
+		rec.Data[typ] = devs
+	}
+	devs[dev] = vals
+	return nil
+}
+
+// Get reads one value from a record; missing entries read 0 with ok=false.
+func (r *Record) Get(schemas map[string]procfs.Schema, typ, dev, key string) (uint64, bool) {
+	devs, ok := r.Data[typ]
+	if !ok {
+		return 0, false
+	}
+	vals, ok := devs[dev]
+	if !ok {
+		return 0, false
+	}
+	schema, ok := schemas[typ]
+	if !ok {
+		return 0, false
+	}
+	i := schema.Index(key)
+	if i < 0 || i >= len(vals) {
+		return 0, false
+	}
+	return vals[i], true
+}

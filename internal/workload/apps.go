@@ -1,0 +1,352 @@
+package workload
+
+// Science labels the "parent science" categories used for the Fig 7a
+// breakdown. The set mirrors the NSF discipline areas XDMoD reports.
+type Science string
+
+// Parent science categories.
+const (
+	MolecularBio  Science = "Molecular Biosciences"
+	Physics       Science = "Physics"
+	Astronomy     Science = "Astronomical Sciences"
+	Materials     Science = "Materials Research"
+	ChemEng       Science = "Chemical, Thermal Systems"
+	Atmospheric   Science = "Atmospheric Sciences"
+	EarthSciences Science = "Earth Sciences"
+	Chemistry     Science = "Chemistry"
+	OtherScience  Science = "Other"
+)
+
+// AllSciences returns the category list in report order.
+func AllSciences() []Science {
+	return []Science{
+		MolecularBio, Physics, Astronomy, Materials, ChemEng,
+		Atmospheric, EarthSciences, Chemistry, OtherScience,
+	}
+}
+
+// ProfileMod scales selected profile dimensions for one cluster,
+// expressing that the same code behaves differently across
+// architectures (the paper's Fig 3 observation that GROMACS and AMBER
+// differ between Ranger and Lonestar4 while NAMD is similar).
+type ProfileMod struct {
+	IdleMul  float64
+	FlopsMul float64
+	MemMul   float64
+	IOMul    float64
+	NetMul   float64
+}
+
+// one is the identity modifier.
+func one() ProfileMod { return ProfileMod{1, 1, 1, 1, 1} }
+
+// App is an application archetype: a named code with a science area, a
+// steady-state resource profile, intra-job dynamics, and distributions
+// for job geometry (nodes, runtime).
+type App struct {
+	Name    string
+	Science Science
+	Profile ResourceProfile
+	Dyn     Dynamics
+
+	// Node-count distribution: lognormal rounded to ints in
+	// [MinNodes, MaxNodes].
+	NodesLogMean  float64 // ln of median node count
+	NodesLogSigma float64
+	MinNodes      int
+	MaxNodes      int
+
+	// Runtime distribution, minutes, lognormal truncated at MaxRuntime.
+	RuntimeLogMean  float64 // ln of median runtime in minutes
+	RuntimeLogSigma float64
+	MaxRuntimeMin   float64
+
+	// Popularity weights the archetype in the submission mix.
+	Popularity float64
+
+	// Failure model: probabilities of abnormal termination.
+	FailureProb float64
+	TimeoutProb float64
+
+	// ClusterMod holds per-cluster profile modifiers keyed by cluster
+	// name; absent clusters use the identity.
+	ClusterMod map[string]ProfileMod
+}
+
+// Mod returns the profile modifier for a cluster name.
+func (a *App) Mod(clusterName string) ProfileMod {
+	if m, ok := a.ClusterMod[clusterName]; ok {
+		return m
+	}
+	return one()
+}
+
+// mdDyn is the dynamics shared by the well-behaved MPI codes: slowly
+// wandering compute rates with hour-scale memory, and checkpoint-style
+// IO bursts every few hours.
+func mdDyn() Dynamics {
+	return Dynamics{
+		Theta: 700, Sigma: 0.35,
+		IOBurst: BurstSpec{MeanOnMin: 45, MeanOffMin: 620, OnFactor: 12},
+	}
+}
+
+// DefaultApps returns the archetype catalogue. Rates are calibrated so a
+// Ranger-like cluster reproduces the paper's aggregates: weighted CPU
+// idle ~10%, mean FLOPS well under 4% of peak, mean memory under half of
+// the 32 GB nodes (see package comment). The three MD codes the paper
+// compares in Fig 3 are first; AMBER is deliberately the least efficient
+// of the three (higher idle, lower flops), NAMD is nearly
+// cluster-invariant, and GROMACS/AMBER carry cluster modifiers.
+func DefaultApps() []*App {
+	return []*App{
+		{
+			Name: "namd", Science: MolecularBio,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.06, CPUSysFrac: 0.04, IowaitFrac: 0.005,
+				FlopsPerCoreGF: 0.45, MemUsedGB: 6, MemPeakFactor: 1.75,
+				ScratchWriteMBps: 0.5, WorkWriteMBps: 0.05,
+				ReadMBps: 0.4, IBTxMBps: 30, LnetTxMBps: 1.0, EthTxMBps: 0.02,
+				MemAccessPerFlop: 0.6, CacheFillPerFlop: 0.02, L1HitPerFlop: 1.4,
+			},
+			Dyn:          mdDyn(),
+			NodesLogMean: 2.2, NodesLogSigma: 0.9, MinNodes: 1, MaxNodes: 256,
+			RuntimeLogMean: 5.1, RuntimeLogSigma: 0.9, MaxRuntimeMin: 2880,
+			Popularity:  0.14,
+			FailureProb: 0.03, TimeoutProb: 0.05,
+		},
+		{
+			Name: "amber", Science: MolecularBio,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.24, CPUSysFrac: 0.05, IowaitFrac: 0.01,
+				FlopsPerCoreGF: 0.22, MemUsedGB: 5, MemPeakFactor: 1.80,
+				ScratchWriteMBps: 0.35, WorkWriteMBps: 0.04,
+				ReadMBps: 0.3, IBTxMBps: 12, LnetTxMBps: 0.7, EthTxMBps: 0.02,
+				MemAccessPerFlop: 0.8, CacheFillPerFlop: 0.03, L1HitPerFlop: 1.2,
+			},
+			Dyn:          mdDyn(),
+			NodesLogMean: 1.6, NodesLogSigma: 0.8, MinNodes: 1, MaxNodes: 128,
+			RuntimeLogMean: 5.2, RuntimeLogSigma: 0.9, MaxRuntimeMin: 2880,
+			Popularity:  0.09,
+			FailureProb: 0.05, TimeoutProb: 0.06,
+			ClusterMod: map[string]ProfileMod{
+				// On Lonestar4 AMBER idles a bit less but computes no
+				// faster per core (Fig 3: different shape across clusters).
+				"lonestar4": {IdleMul: 0.8, FlopsMul: 1.1, MemMul: 1.2, IOMul: 1.0, NetMul: 0.9},
+			},
+		},
+		{
+			Name: "gromacs", Science: MolecularBio,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.08, CPUSysFrac: 0.04, IowaitFrac: 0.005,
+				FlopsPerCoreGF: 0.45, MemUsedGB: 4, MemPeakFactor: 1.70,
+				ScratchWriteMBps: 0.4, WorkWriteMBps: 0.05,
+				ReadMBps: 0.3, IBTxMBps: 20, LnetTxMBps: 0.8, EthTxMBps: 0.02,
+				MemAccessPerFlop: 0.5, CacheFillPerFlop: 0.02, L1HitPerFlop: 1.5,
+			},
+			Dyn:          mdDyn(),
+			NodesLogMean: 1.8, NodesLogSigma: 0.8, MinNodes: 1, MaxNodes: 128,
+			RuntimeLogMean: 4.9, RuntimeLogSigma: 0.9, MaxRuntimeMin: 2880,
+			Popularity:  0.10,
+			FailureProb: 0.03, TimeoutProb: 0.04,
+			ClusterMod: map[string]ProfileMod{
+				// GROMACS exploits the Westmere SIMD units well: more
+				// flops, less idle on Lonestar4.
+				"lonestar4": {IdleMul: 0.7, FlopsMul: 1.5, MemMul: 1.1, IOMul: 1.2, NetMul: 1.3},
+			},
+		},
+		{
+			Name: "wrf", Science: Atmospheric,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.13, CPUSysFrac: 0.05, IowaitFrac: 0.03,
+				FlopsPerCoreGF: 0.30, MemUsedGB: 10, MemPeakFactor: 1.80,
+				ScratchWriteMBps: 3.0, WorkWriteMBps: 0.2,
+				ReadMBps: 1.5, IBTxMBps: 15, LnetTxMBps: 4.5, EthTxMBps: 0.03,
+				MemAccessPerFlop: 0.9, CacheFillPerFlop: 0.04, L1HitPerFlop: 1.1,
+			},
+			Dyn: Dynamics{
+				Theta: 500, Sigma: 0.4,
+				IOBurst: BurstSpec{MeanOnMin: 40, MeanOffMin: 360, OnFactor: 9},
+			},
+			NodesLogMean: 2.6, NodesLogSigma: 0.7, MinNodes: 2, MaxNodes: 256,
+			RuntimeLogMean: 5.0, RuntimeLogSigma: 0.8, MaxRuntimeMin: 2880,
+			Popularity:  0.08,
+			FailureProb: 0.06, TimeoutProb: 0.07,
+		},
+		{
+			Name: "milc", Science: Physics,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.04, CPUSysFrac: 0.03, IowaitFrac: 0.003,
+				FlopsPerCoreGF: 0.70, MemUsedGB: 7, MemPeakFactor: 1.65,
+				ScratchWriteMBps: 0.8, WorkWriteMBps: 0.05,
+				ReadMBps: 0.5, IBTxMBps: 45, LnetTxMBps: 1.2, EthTxMBps: 0.02,
+				MemAccessPerFlop: 0.4, CacheFillPerFlop: 0.015, L1HitPerFlop: 1.6,
+			},
+			Dyn: Dynamics{
+				Theta: 900, Sigma: 0.25,
+				IOBurst: BurstSpec{MeanOnMin: 50, MeanOffMin: 850, OnFactor: 15},
+			},
+			NodesLogMean: 3.2, NodesLogSigma: 0.8, MinNodes: 4, MaxNodes: 512,
+			RuntimeLogMean: 5.4, RuntimeLogSigma: 0.8, MaxRuntimeMin: 2880,
+			Popularity:  0.08,
+			FailureProb: 0.04, TimeoutProb: 0.06,
+		},
+		{
+			Name: "enzo", Science: Astronomy,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.16, CPUSysFrac: 0.06, IowaitFrac: 0.05,
+				FlopsPerCoreGF: 0.35, MemUsedGB: 12, MemPeakFactor: 1.90,
+				ScratchWriteMBps: 5.0, WorkWriteMBps: 0.3,
+				ReadMBps: 2.5, IBTxMBps: 18, LnetTxMBps: 7.5, EthTxMBps: 0.03,
+				MemAccessPerFlop: 1.0, CacheFillPerFlop: 0.05, L1HitPerFlop: 1.0,
+			},
+			Dyn: Dynamics{
+				Theta: 450, Sigma: 0.45,
+				IOBurst: BurstSpec{MeanOnMin: 35, MeanOffMin: 280, OnFactor: 8},
+			},
+			NodesLogMean: 2.9, NodesLogSigma: 0.8, MinNodes: 2, MaxNodes: 512,
+			RuntimeLogMean: 5.3, RuntimeLogSigma: 0.9, MaxRuntimeMin: 2880,
+			Popularity:  0.06,
+			FailureProb: 0.07, TimeoutProb: 0.08,
+		},
+		{
+			Name: "vasp", Science: Materials,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.10, CPUSysFrac: 0.04, IowaitFrac: 0.01,
+				FlopsPerCoreGF: 0.50, MemUsedGB: 14, MemPeakFactor: 1.85,
+				ScratchWriteMBps: 0.9, WorkWriteMBps: 0.1,
+				ReadMBps: 0.6, IBTxMBps: 25, LnetTxMBps: 1.4, EthTxMBps: 0.02,
+				MemAccessPerFlop: 0.9, CacheFillPerFlop: 0.04, L1HitPerFlop: 1.2,
+			},
+			Dyn:          mdDyn(),
+			NodesLogMean: 1.9, NodesLogSigma: 0.7, MinNodes: 1, MaxNodes: 64,
+			RuntimeLogMean: 5.2, RuntimeLogSigma: 0.8, MaxRuntimeMin: 2880,
+			Popularity:  0.10,
+			FailureProb: 0.05, TimeoutProb: 0.07,
+		},
+		{
+			Name: "openfoam", Science: ChemEng,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.14, CPUSysFrac: 0.05, IowaitFrac: 0.02,
+				FlopsPerCoreGF: 0.20, MemUsedGB: 8, MemPeakFactor: 1.80,
+				ScratchWriteMBps: 1.5, WorkWriteMBps: 0.15,
+				ReadMBps: 0.8, IBTxMBps: 14, LnetTxMBps: 2.2, EthTxMBps: 0.03,
+				MemAccessPerFlop: 1.1, CacheFillPerFlop: 0.05, L1HitPerFlop: 0.9,
+			},
+			Dyn: Dynamics{
+				Theta: 600, Sigma: 0.4,
+				IOBurst: BurstSpec{MeanOnMin: 40, MeanOffMin: 420, OnFactor: 10},
+			},
+			NodesLogMean: 2.0, NodesLogSigma: 0.8, MinNodes: 1, MaxNodes: 128,
+			RuntimeLogMean: 5.0, RuntimeLogSigma: 0.9, MaxRuntimeMin: 2880,
+			Popularity:  0.07,
+			FailureProb: 0.06, TimeoutProb: 0.06,
+		},
+		{
+			Name: "espresso", Science: Chemistry,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.11, CPUSysFrac: 0.04, IowaitFrac: 0.01,
+				FlopsPerCoreGF: 0.50, MemUsedGB: 9, MemPeakFactor: 1.80,
+				ScratchWriteMBps: 0.7, WorkWriteMBps: 0.08,
+				ReadMBps: 0.5, IBTxMBps: 22, LnetTxMBps: 1.2, EthTxMBps: 0.02,
+				MemAccessPerFlop: 0.7, CacheFillPerFlop: 0.03, L1HitPerFlop: 1.3,
+			},
+			Dyn:          mdDyn(),
+			NodesLogMean: 1.8, NodesLogSigma: 0.7, MinNodes: 1, MaxNodes: 64,
+			RuntimeLogMean: 5.1, RuntimeLogSigma: 0.8, MaxRuntimeMin: 2880,
+			Popularity:  0.08,
+			FailureProb: 0.04, TimeoutProb: 0.05,
+		},
+		{
+			Name: "seismic3d", Science: EarthSciences,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.12, CPUSysFrac: 0.05, IowaitFrac: 0.02,
+				FlopsPerCoreGF: 0.40, MemUsedGB: 11, MemPeakFactor: 1.80,
+				ScratchWriteMBps: 2.2, WorkWriteMBps: 0.2,
+				ReadMBps: 1.8, IBTxMBps: 20, LnetTxMBps: 3.8, EthTxMBps: 0.03,
+				MemAccessPerFlop: 0.8, CacheFillPerFlop: 0.04, L1HitPerFlop: 1.1,
+			},
+			Dyn: Dynamics{
+				Theta: 650, Sigma: 0.35,
+				IOBurst: BurstSpec{MeanOnMin: 38, MeanOffMin: 380, OnFactor: 9},
+			},
+			NodesLogMean: 2.4, NodesLogSigma: 0.7, MinNodes: 2, MaxNodes: 256,
+			RuntimeLogMean: 5.1, RuntimeLogSigma: 0.8, MaxRuntimeMin: 2880,
+			Popularity:  0.05,
+			FailureProb: 0.05, TimeoutProb: 0.06,
+		},
+		{
+			// Undersubscribed serial farming: one or two ranks on a
+			// full node. This archetype produces the paper's "wasted
+			// node-hours" tail (Fig 4) — nearly all core-time idle with
+			// otherwise unremarkable resource use (Fig 5).
+			Name: "serialfarm", Science: OtherScience,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.91, CPUSysFrac: 0.02, IowaitFrac: 0.01,
+				FlopsPerCoreGF: 0.30, MemUsedGB: 3.5, MemPeakFactor: 1.90,
+				ScratchWriteMBps: 0.3, WorkWriteMBps: 0.05,
+				ReadMBps: 0.4, IBTxMBps: 0.4, LnetTxMBps: 0.6, EthTxMBps: 0.05,
+				MemAccessPerFlop: 1.0, CacheFillPerFlop: 0.05, L1HitPerFlop: 1.0,
+			},
+			Dyn: Dynamics{
+				Theta: 350, Sigma: 0.5,
+				IOBurst: BurstSpec{MeanOnMin: 25, MeanOffMin: 280, OnFactor: 7},
+			},
+			NodesLogMean: 1.0, NodesLogSigma: 0.9, MinNodes: 1, MaxNodes: 64,
+			RuntimeLogMean: 5.3, RuntimeLogSigma: 0.9, MaxRuntimeMin: 2880,
+			Popularity:  0.05,
+			FailureProb: 0.08, TimeoutProb: 0.10,
+		},
+		{
+			// Data staging / post-processing pipelines: IO-dominated
+			// with a high idle fraction (the paper's "user 3" shape in
+			// Fig 2 — jobs dominated by IO).
+			Name: "datamover", Science: OtherScience,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.72, CPUSysFrac: 0.08, IowaitFrac: 0.15,
+				FlopsPerCoreGF: 0.02, MemUsedGB: 4, MemPeakFactor: 2.00,
+				ScratchWriteMBps: 22, WorkWriteMBps: 2.5,
+				ReadMBps: 30, IBTxMBps: 2, LnetTxMBps: 50, EthTxMBps: 0.1,
+				MemAccessPerFlop: 5, CacheFillPerFlop: 0.2, L1HitPerFlop: 0.5,
+			},
+			Dyn: Dynamics{
+				Theta: 180, Sigma: 0.6,
+				IOBurst: BurstSpec{MeanOnMin: 45, MeanOffMin: 95, OnFactor: 3},
+			},
+			NodesLogMean: 0.7, NodesLogSigma: 0.7, MinNodes: 1, MaxNodes: 16,
+			RuntimeLogMean: 4.5, RuntimeLogSigma: 0.9, MaxRuntimeMin: 1440,
+			Popularity:  0.04,
+			FailureProb: 0.07, TimeoutProb: 0.05,
+		},
+		{
+			// Single-node interactive analytics (high memory, mostly
+			// idle cores).
+			Name: "matpy", Science: OtherScience,
+			Profile: ResourceProfile{
+				CPUIdleFrac: 0.60, CPUSysFrac: 0.04, IowaitFrac: 0.03,
+				FlopsPerCoreGF: 0.12, MemUsedGB: 16, MemPeakFactor: 2.00,
+				ScratchWriteMBps: 0.6, WorkWriteMBps: 0.3,
+				ReadMBps: 1.2, IBTxMBps: 0.2, LnetTxMBps: 1.5, EthTxMBps: 0.1,
+				MemAccessPerFlop: 2, CacheFillPerFlop: 0.1, L1HitPerFlop: 0.8,
+			},
+			Dyn: Dynamics{
+				Theta: 250, Sigma: 0.55,
+				IOBurst: BurstSpec{MeanOnMin: 30, MeanOffMin: 300, OnFactor: 6},
+			},
+			NodesLogMean: 0.1, NodesLogSigma: 0.4, MinNodes: 1, MaxNodes: 4,
+			RuntimeLogMean: 4.4, RuntimeLogSigma: 1.0, MaxRuntimeMin: 1440,
+			Popularity:  0.06,
+			FailureProb: 0.06, TimeoutProb: 0.04,
+		},
+	}
+}
+
+// AppByName returns the archetype with the given name from apps, or nil.
+func AppByName(apps []*App, name string) *App {
+	for _, a := range apps {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

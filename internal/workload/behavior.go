@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NodeUsage is the resource consumption of one job on one of its nodes
+// over one simulation step. The sim engine translates this into procfs
+// counter increments; the analytics layer never sees it directly.
+type NodeUsage struct {
+	// Core-time fractions over the step; User+Sys+Iowait+Idle == 1.
+	UserFrac, SysFrac, IowaitFrac, IdleFrac float64
+
+	// Flops is total floating-point operations on the node this step.
+	Flops float64
+
+	// MemUsedKB is the instantaneous memory gauge (working set + page
+	// cache attributed to the job).
+	MemUsedKB uint64
+	// BuffCacheKB is the portion of MemUsedKB that is buffers/cache.
+	BuffCacheKB uint64
+
+	// Lustre bytes this step, split by mount.
+	ScratchWriteB, WorkWriteB, ShareWriteB, ReadB float64
+
+	// Fabric and network bytes this step.
+	IBTxB, IBRxB     float64
+	LnetTxB, LnetRxB float64
+	EthTxB, EthRxB   float64
+
+	// Block device sectors (512B) this step.
+	BlockRdSectors, BlockWrSectors float64
+
+	// Paging events this step.
+	PgPgInKB, PgPgOutKB float64
+	PgFault, PgMajFault float64
+	// Swap events this step: nonzero only under memory pressure (the
+	// demand exceeded the capacity clamp), the §3 "swapping/paging
+	// activities" signal that precedes OOM kills.
+	SwapIn, SwapOut float64
+
+	// Hardware counter events this step (beyond FLOPS).
+	MemAccess, CacheFills, L1Hits, NumaTraffic float64
+}
+
+// Behavior is a job's runtime resource process: the AR(1) channels and
+// IO burst modulator evolved step by step while the job runs. One
+// Behavior serves all nodes of the job (SPMD codes behave coherently
+// across nodes); per-node jitter is added on top.
+type Behavior struct {
+	job *Job
+	rng *rand.Rand
+
+	arCompute arState // modulates flops and cpu busy
+	arMem     arState
+	arIO      arState
+	arNet     arState
+	arLnet    arState
+	burst     burstState
+
+	// effective steady-state profile after user/job multipliers and
+	// cluster modifiers are applied
+	idle     float64
+	sys      float64
+	iowait   float64
+	flopsGF  float64 // per busy core
+	memGB    float64
+	memCapGB float64
+	scratch  float64 // MB/s
+	work     float64
+	share    float64
+	read     float64
+	ibTx     float64
+	lnetTx   float64
+	ethTx    float64
+	perFlop  struct{ mem, fill, l1 float64 }
+
+	cores int
+
+	// memSpike is the per-job transient allocation multiplier drawn from
+	// MemPeakFactor; rare spike episodes decouple mem_used_max from
+	// mem_used without whitening the system memory series.
+	memSpike          float64
+	memSpikeRemainMin float64
+
+	// Peak tracking for mem_used_max.
+	peakMemKB uint64
+}
+
+// NewBehavior instantiates the runtime process for a job on a cluster
+// with the given per-node core count and memory capacity.
+func NewBehavior(j *Job, clusterName string, cores int, memCapGB float64) *Behavior {
+	rng := rand.New(rand.NewSource(j.Seed))
+	p := j.App.Profile
+	m := j.App.Mod(clusterName)
+
+	b := &Behavior{
+		job:      j,
+		rng:      rng,
+		cores:    cores,
+		memCapGB: memCapGB,
+	}
+	b.idle = clamp(p.CPUIdleFrac*j.IdleMul*m.IdleMul, 0, 0.98)
+	b.sys = p.CPUSysFrac
+	b.iowait = p.IowaitFrac
+	b.flopsGF = p.FlopsPerCoreGF * j.FlopsMul * m.FlopsMul
+	b.memGB = p.MemUsedGB * j.MemMul * m.MemMul
+	b.scratch = p.ScratchWriteMBps * j.IOMul * m.IOMul
+	b.work = p.WorkWriteMBps * j.IOMul * m.IOMul
+	b.share = p.ShareWriteMBps * j.IOMul * m.IOMul
+	b.read = p.ReadMBps * j.IOMul * m.IOMul
+	b.ibTx = p.IBTxMBps * j.NetMul * m.NetMul
+	b.lnetTx = p.LnetTxMBps * j.IOMul * m.IOMul
+	b.ethTx = p.EthTxMBps
+	b.perFlop.mem = p.MemAccessPerFlop
+	b.perFlop.fill = p.CacheFillPerFlop
+	b.perFlop.l1 = p.L1HitPerFlop
+
+	b.memSpike = 1 + (p.MemPeakFactor-1)*(0.5+1.5*rng.Float64())
+
+	d := j.App.Dyn
+	b.arCompute.init(d.Sigma, rng)
+	b.arMem.init(d.Sigma*0.35, rng)
+	b.arIO.init(d.Sigma*1.2, rng)
+	b.arNet.init(d.Sigma*1.5, rng)
+	b.arLnet.init(d.Sigma, rng)
+	return b
+}
+
+// PeakMemKB reports the maximum per-node memory gauge observed so far
+// (the ingredient of mem_used_max).
+func (b *Behavior) PeakMemKB() uint64 { return b.peakMemKB }
+
+// Step advances the job's process by dtMin minutes and returns the
+// per-node usage for that interval. All nodes of the job receive this
+// usage with small per-node jitter applied by the caller if desired.
+func (b *Behavior) Step(dtMin float64) NodeUsage {
+	d := b.job.App.Dyn
+	fCompute := b.arCompute.step(d.Theta, d.Sigma, dtMin, b.rng)
+	fMem := b.arMem.step(d.Theta*2.5, d.Sigma*0.35, dtMin, b.rng)
+	fIO := b.arIO.step(d.Theta*0.3, d.Sigma*1.2, dtMin, b.rng)
+	// Fabric traffic carries more fast noise than compute or memory:
+	// message bursts decorrelate in tens of minutes, matching Table 1's
+	// ib_tx column sitting between the write and mem/flops columns.
+	fNet := b.arNet.step(d.Theta*0.08, d.Sigma*1.5, dtMin, b.rng)
+	fLnet := b.arLnet.step(d.Theta*0.8, d.Sigma, dtMin, b.rng)
+	fBurst := b.burst.step(d.IOBurst, dtMin, b.rng)
+
+	dtSec := dtMin * 60
+
+	var u NodeUsage
+	// CPU split: the idle fraction wanders mildly with compute noise
+	// (inverse relationship: more compute pressure, less idle).
+	idle := clamp(b.idle*(2-fCompute), 0.005, 0.985)
+	u.SysFrac = clamp(b.sys, 0, 0.5)
+	u.IowaitFrac = clamp(b.iowait*fIO, 0, 0.3)
+	if idle+u.SysFrac+u.IowaitFrac > 0.99 {
+		idle = 0.99 - u.SysFrac - u.IowaitFrac
+		if idle < 0 {
+			idle = 0
+		}
+	}
+	u.IdleFrac = idle
+	u.UserFrac = 1 - u.IdleFrac - u.SysFrac - u.IowaitFrac
+
+	busyCores := float64(b.cores) * (1 - u.IdleFrac)
+	u.Flops = b.flopsGF * 1e9 * busyCores * fCompute * dtSec
+
+	memGB := b.memGB * fMem
+	// Transient allocation episodes (restart buffers, analysis phases):
+	// rare and lasting tens of minutes, they move the job's observed
+	// peak without moving its mean much, and stay temporally correlated
+	// so the system memory series keeps its Table 1 persistence.
+	if b.memSpikeRemainMin <= 0 && b.rng.Float64() < 0.02 {
+		b.memSpikeRemainMin = 20 + b.rng.ExpFloat64()*25
+	}
+	if b.memSpikeRemainMin > 0 {
+		memGB *= b.memSpike
+		b.memSpikeRemainMin -= dtMin
+	}
+	demandGB := memGB
+	memGB = math.Min(memGB, 0.95*b.memCapGB)
+	if demandGB > memGB {
+		// The working set did not fit: the kernel swaps the excess. The
+		// event volume tracks the overshoot.
+		overKB := (demandGB - memGB) * 1024 * 1024
+		u.SwapOut = overKB / 4 // 4 KB pages
+		u.SwapIn = u.SwapOut * 0.6
+	}
+	u.MemUsedKB = uint64(memGB * 1024 * 1024)
+	u.BuffCacheKB = uint64(0.3 * float64(u.MemUsedKB))
+	if u.MemUsedKB > b.peakMemKB {
+		b.peakMemKB = u.MemUsedKB
+	}
+
+	mb := 1e6 * dtSec
+	u.ScratchWriteB = b.scratch * fIO * fBurst * mb
+	u.WorkWriteB = b.work * fIO * fBurst * mb
+	u.ShareWriteB = b.share * fIO * fBurst * mb
+	u.ReadB = b.read * fIO * mb
+
+	u.IBTxB = b.ibTx * fNet * mb
+	u.IBRxB = u.IBTxB * (0.9 + 0.2*b.rng.Float64())
+	// Lustre networking follows its own channel plus contributions from
+	// reads and a slice of the writes (metadata and RPC overhead ride on
+	// lnet regardless of which mount the data targets).
+	u.LnetTxB = b.lnetTx*fLnet*mb + 0.25*u.ReadB + 0.05*(u.ScratchWriteB+u.WorkWriteB)
+	u.LnetRxB = u.ReadB * 1.02
+	u.EthTxB = b.ethTx * mb
+	u.EthRxB = u.EthTxB * (0.8 + 0.4*b.rng.Float64())
+
+	u.BlockWrSectors = (u.ScratchWriteB + u.WorkWriteB) * 0.02 / 512 // local spill
+	u.BlockRdSectors = u.ReadB * 0.01 / 512
+
+	u.PgPgInKB = u.ReadB / 1024 * 0.1
+	u.PgPgOutKB = (u.ScratchWriteB + u.WorkWriteB) / 1024 * 0.1
+	u.PgFault = busyCores * 1000 * dtSec
+	u.PgMajFault = u.PgFault * 1e-4
+
+	u.MemAccess = u.Flops * b.perFlop.mem
+	u.CacheFills = u.Flops * b.perFlop.fill
+	u.L1Hits = u.Flops * b.perFlop.l1
+	u.NumaTraffic = u.MemAccess * 0.1
+	return u
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"supremm/internal/stats"
+)
+
+func testJob(appName string, seed int64) *Job {
+	apps := DefaultApps()
+	return &Job{
+		ID:    1,
+		User:  &User{ID: 1, Name: "u", IdleMul: 1, ScaleMul: 1},
+		App:   AppByName(apps, appName),
+		Nodes: 4, RuntimeMin: 600,
+		IdleMul: 1, FlopsMul: 1, MemMul: 1, IOMul: 1, NetMul: 1,
+		Seed: seed,
+	}
+}
+
+func TestBehaviorCPUFractionsSumToOne(t *testing.T) {
+	for _, app := range []string{"namd", "amber", "serialfarm", "datamover"} {
+		b := NewBehavior(testJob(app, 11), "ranger", 16, 32)
+		for i := 0; i < 200; i++ {
+			u := b.Step(10)
+			sum := u.UserFrac + u.SysFrac + u.IowaitFrac + u.IdleFrac
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s step %d: fractions sum to %v", app, i, sum)
+			}
+			if u.UserFrac < 0 || u.IdleFrac < 0 || u.SysFrac < 0 || u.IowaitFrac < 0 {
+				t.Fatalf("%s step %d: negative fraction %+v", app, i, u)
+			}
+		}
+	}
+}
+
+func TestBehaviorMeansTrackProfile(t *testing.T) {
+	// Long-run averages of the dynamic process should track the
+	// steady-state profile (the AR noise is mean-one).
+	j := testJob("namd", 21)
+	b := NewBehavior(j, "ranger", 16, 32)
+	p := j.App.Profile
+	var idles, flops []float64
+	for i := 0; i < 5000; i++ {
+		u := b.Step(10)
+		idles = append(idles, u.IdleFrac)
+		flops = append(flops, u.Flops)
+	}
+	meanIdle := stats.Mean(idles)
+	if math.Abs(meanIdle-p.CPUIdleFrac) > 0.05 {
+		t.Errorf("mean idle = %v, profile %v", meanIdle, p.CPUIdleFrac)
+	}
+	// Expected flops per 10-minute step per node.
+	wantFlops := p.FlopsPerCoreGF * 1e9 * 16 * (1 - p.CPUIdleFrac) * 600
+	gotFlops := stats.Mean(flops)
+	if gotFlops < 0.5*wantFlops || gotFlops > 1.8*wantFlops {
+		t.Errorf("mean flops = %v, want ~%v", gotFlops, wantFlops)
+	}
+}
+
+func TestBehaviorMemoryClampAndPeak(t *testing.T) {
+	j := testJob("matpy", 31)
+	j.MemMul = 10 // force a footprint beyond capacity
+	b := NewBehavior(j, "ranger", 16, 32)
+	capGB := 0.95 * 32.0
+	capKB := uint64(capGB * 1024 * 1024)
+	var maxSeen uint64
+	for i := 0; i < 300; i++ {
+		u := b.Step(10)
+		if u.MemUsedKB > capKB {
+			t.Fatalf("mem %d exceeds 95%% capacity clamp %d", u.MemUsedKB, capKB)
+		}
+		if u.MemUsedKB > maxSeen {
+			maxSeen = u.MemUsedKB
+		}
+		if u.BuffCacheKB > u.MemUsedKB {
+			t.Fatalf("buffers/cache %d exceeds used %d", u.BuffCacheKB, u.MemUsedKB)
+		}
+	}
+	if b.PeakMemKB() != maxSeen {
+		t.Errorf("PeakMemKB = %d, observed max %d", b.PeakMemKB(), maxSeen)
+	}
+}
+
+func TestBehaviorDeterminism(t *testing.T) {
+	a := NewBehavior(testJob("wrf", 77), "ranger", 16, 32)
+	b := NewBehavior(testJob("wrf", 77), "ranger", 16, 32)
+	for i := 0; i < 100; i++ {
+		ua, ub := a.Step(10), b.Step(10)
+		if ua != ub {
+			t.Fatalf("step %d diverged: %+v vs %+v", i, ua, ub)
+		}
+	}
+	c := NewBehavior(testJob("wrf", 78), "ranger", 16, 32)
+	diverged := false
+	for i := 0; i < 20; i++ {
+		if a.Step(10) != c.Step(10) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestBehaviorIOBurstiness(t *testing.T) {
+	// Checkpointing codes should show bursty scratch writes: the CV of
+	// the write series must exceed the CV of the flops series.
+	j := testJob("enzo", 41)
+	b := NewBehavior(j, "ranger", 16, 32)
+	var writes, flops []float64
+	for i := 0; i < 4000; i++ {
+		u := b.Step(10)
+		writes = append(writes, u.ScratchWriteB)
+		flops = append(flops, u.Flops)
+	}
+	cvW := stats.CoefficientOfVariation(writes)
+	cvF := stats.CoefficientOfVariation(flops)
+	if cvW <= cvF {
+		t.Errorf("write CV %v should exceed flops CV %v (bursty IO)", cvW, cvF)
+	}
+}
+
+func TestBehaviorIntraJobPersistence(t *testing.T) {
+	// The AR(1) compute channel must make consecutive samples of flops
+	// correlated — that correlation is what Table 1 measures.
+	j := testJob("milc", 51)
+	b := NewBehavior(j, "ranger", 16, 32)
+	var flops []float64
+	for i := 0; i < 8000; i++ {
+		flops = append(flops, b.Step(10).Flops)
+	}
+	rho := stats.Autocorrelation(flops, 1)
+	if rho < 0.5 {
+		t.Errorf("lag-1 flops autocorrelation = %v, want strong persistence", rho)
+	}
+	// And it should decay with lag.
+	rho30 := stats.Autocorrelation(flops, 30)
+	if rho30 >= rho {
+		t.Errorf("autocorrelation should decay: lag1=%v lag30=%v", rho, rho30)
+	}
+}
+
+func TestClusterModAffectsBehavior(t *testing.T) {
+	// GROMACS on LS4 has FlopsMul 1.5: long-run flops per core should be
+	// visibly higher than on Ranger with the same per-node cores.
+	mean := func(clusterName string) float64 {
+		b := NewBehavior(testJob("gromacs", 61), clusterName, 12, 24)
+		var sum float64
+		for i := 0; i < 3000; i++ {
+			sum += b.Step(10).Flops
+		}
+		return sum / 3000
+	}
+	r, l := mean("ranger"), mean("lonestar4")
+	if l < 1.2*r {
+		t.Errorf("LS4 gromacs flops %v should exceed Ranger %v by ~1.5x", l, r)
+	}
+}
+
+func TestBurstSpecDutyCycle(t *testing.T) {
+	b := BurstSpec{MeanOnMin: 10, MeanOffMin: 30, OnFactor: 4}
+	if got := b.DutyCycle(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("duty = %v, want 0.25", got)
+	}
+	if got := (BurstSpec{}).DutyCycle(); got != 0 {
+		t.Errorf("zero spec duty = %v", got)
+	}
+	// Duty-weighted mean of on/off factors must be ~1 (rate preserving).
+	on, off := b.OnFactor, b.offFactor()
+	mean := 0.25*on + 0.75*off
+	if math.Abs(mean-1) > 1e-9 {
+		t.Errorf("rate not preserved: %v", mean)
+	}
+}
+
+func TestBurstStateLongRunMeanIsOne(t *testing.T) {
+	spec := BurstSpec{MeanOnMin: 8, MeanOffMin: 110, OnFactor: 12}
+	rng := rand.New(rand.NewSource(71))
+	var s burstState
+	var sum float64
+	const steps = 200000
+	for i := 0; i < steps; i++ {
+		sum += s.step(spec, 10, rng)
+	}
+	if mean := sum / steps; math.Abs(mean-1) > 0.05 {
+		t.Errorf("burst long-run mean = %v, want ~1", mean)
+	}
+}
+
+func TestARStateLongRunMeanIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	var a arState
+	a.init(0.4, rng)
+	var sum float64
+	const steps = 200000
+	for i := 0; i < steps; i++ {
+		sum += a.step(240, 0.4, 10, rng)
+	}
+	if mean := sum / steps; math.Abs(mean-1) > 0.05 {
+		t.Errorf("AR long-run mean = %v, want ~1", mean)
+	}
+	// Degenerate parameters return identity.
+	var b arState
+	if got := b.step(0, 0.4, 10, rng); got != 1 {
+		t.Errorf("theta=0 should return 1, got %v", got)
+	}
+	if got := b.step(240, 0, 10, rng); got != 1 {
+		t.Errorf("sigma=0 should return 1, got %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 1) != 1 || clamp(-5, 0, 1) != 0 || clamp(0.5, 0, 1) != 0.5 {
+		t.Error("clamp misbehaves")
+	}
+}
+
+func TestSwapUnderMemoryPressure(t *testing.T) {
+	// A job whose demand exceeds node capacity must show swap traffic;
+	// a comfortable job must not.
+	pressured := testJob("matpy", 91)
+	pressured.MemMul = 5 // 16 GB base * 5 >> 32 GB node
+	b := NewBehavior(pressured, "ranger", 16, 32)
+	var swapped float64
+	for i := 0; i < 100; i++ {
+		swapped += b.Step(10).SwapOut
+	}
+	if swapped == 0 {
+		t.Error("over-committed job produced no swap events")
+	}
+
+	comfy := testJob("namd", 91)
+	bc := NewBehavior(comfy, "ranger", 16, 32)
+	swapped = 0
+	for i := 0; i < 100; i++ {
+		swapped += bc.Step(10).SwapOut
+	}
+	if swapped != 0 {
+		t.Errorf("comfortable job swapped %v pages", swapped)
+	}
+}

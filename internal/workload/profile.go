@@ -1,0 +1,172 @@
+// Package workload generates the synthetic job mix that stands in for the
+// 18 months of real XSEDE workload the paper analyzed (521,010 Ranger
+// jobs, 337,011 Lonestar4 jobs). It models a user population with
+// heavy-tailed activity, application archetypes patterned on the codes
+// the paper names (NAMD, AMBER, GROMACS and the rest of a typical XSEDE
+// mix), a Poisson arrival process, and per-job resource behaviour with
+// AR(1) intra-job dynamics and bursty on/off IO.
+//
+// Calibration targets come from the paper's published aggregates: mean
+// CPU efficiency ~90% on Ranger and ~85% on Lonestar4 with a tail of
+// users above 80% idle (Fig 4), node-hour-weighted mean job length 549
+// and 446 minutes (§4.3.4), cluster FLOPS far below peak (Figs 9-10),
+// and mean memory below half of capacity on Ranger but ~60% on
+// Lonestar4 (Figs 11-12).
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ResourceProfile is the steady-state per-node resource demand of an
+// application archetype while it runs. Rates are per node unless noted.
+type ResourceProfile struct {
+	// CPUIdleFrac is the fraction of allocated core-time left idle
+	// (undersubscribed cores, load imbalance, IO waits).
+	CPUIdleFrac float64
+	// CPUSysFrac is the fraction of core-time in the kernel.
+	CPUSysFrac float64
+	// IowaitFrac is the fraction of core-time blocked on IO (carved out
+	// of the idle fraction when accounting, as the kernel does).
+	IowaitFrac float64
+	// FlopsPerCoreGF is the floating-point rate per *busy* core, GFLOP/s.
+	FlopsPerCoreGF float64
+	// MemUsedGB is the steady working set per node, including page cache.
+	MemUsedGB float64
+	// MemPeakFactor scales MemUsedGB to the job's peak (mem_used_max).
+	MemPeakFactor float64
+	// ScratchWriteMBps, WorkWriteMBps, ShareWriteMBps are Lustre write
+	// rates per node, MB/s, time-averaged over bursts.
+	ScratchWriteMBps float64
+	WorkWriteMBps    float64
+	ShareWriteMBps   float64
+	// ReadMBps is the Lustre read rate per node.
+	ReadMBps float64
+	// IBTxMBps is MPI fabric transmit per node, MB/s.
+	IBTxMBps float64
+	// LnetTxMBps is Lustre-networking transmit per node (tracks IO).
+	LnetTxMBps float64
+	// EthTxMBps is management-network traffic (small).
+	EthTxMBps float64
+	// MemAccessPerFlop and CacheFillPerFlop shape the extra AMD PMC
+	// events; L1HitPerFlop shapes the Intel one.
+	MemAccessPerFlop float64
+	CacheFillPerFlop float64
+	L1HitPerFlop     float64
+}
+
+// Dynamics controls how a job's resource use evolves around its
+// steady-state profile while it runs.
+type Dynamics struct {
+	// Theta is the AR(1) relaxation time, in minutes, of the
+	// multiplicative log-noise applied to compute rates. Long thetas
+	// make within-job usage persistent, which (with job turnover) is
+	// what produces the paper's Table 1 persistence curves.
+	Theta float64
+	// Sigma is the stationary standard deviation of the log-noise.
+	Sigma float64
+	// IOBurst describes the on/off process modulating writes: IO is
+	// emitted in bursts (checkpoint dumps), which makes io_scratch_write
+	// the least persistent metric in Table 1.
+	IOBurst BurstSpec
+}
+
+// BurstSpec is a two-state Markov on/off modulator.
+type BurstSpec struct {
+	// MeanOnMin and MeanOffMin are the mean dwell times in minutes.
+	MeanOnMin  float64
+	MeanOffMin float64
+	// OnFactor is the rate multiplier while "on"; the off-state rate is
+	// scaled so the duty-cycle-weighted mean equals the profile rate.
+	OnFactor float64
+}
+
+// DutyCycle returns the fraction of time the modulator spends on.
+func (b BurstSpec) DutyCycle() float64 {
+	if b.MeanOnMin <= 0 {
+		return 0
+	}
+	return b.MeanOnMin / (b.MeanOnMin + b.MeanOffMin)
+}
+
+// offFactor solves duty*on + (1-duty)*off = 1 for the off-state
+// multiplier, clamped at zero (pure bursts when OnFactor is large).
+func (b BurstSpec) offFactor() float64 {
+	d := b.DutyCycle()
+	if d >= 1 || d <= 0 {
+		return 1
+	}
+	off := (1 - d*b.OnFactor) / (1 - d)
+	if off < 0 {
+		return 0
+	}
+	return off
+}
+
+// burstState tracks the modulator through time for one job.
+type burstState struct {
+	on        bool
+	remainMin float64
+}
+
+// step advances the modulator dt minutes and returns the average rate
+// multiplier over the interval (integrating across state flips).
+func (s *burstState) step(b BurstSpec, dtMin float64, rng *rand.Rand) float64 {
+	if b.MeanOnMin <= 0 || b.OnFactor <= 1 {
+		return 1
+	}
+	onF, offF := b.OnFactor, b.offFactor()
+	var weighted float64
+	left := dtMin
+	for left > 0 {
+		if s.remainMin <= 0 {
+			// Draw a fresh exponential dwell for the current state.
+			if s.on {
+				s.remainMin = expDraw(rng, b.MeanOnMin)
+			} else {
+				s.remainMin = expDraw(rng, b.MeanOffMin)
+			}
+		}
+		span := math.Min(left, s.remainMin)
+		f := offF
+		if s.on {
+			f = onF
+		}
+		weighted += f * span
+		s.remainMin -= span
+		left -= span
+		if s.remainMin <= 0 {
+			s.on = !s.on
+		}
+	}
+	return weighted / dtMin
+}
+
+func expDraw(rng *rand.Rand, mean float64) float64 {
+	v := rng.ExpFloat64() * mean
+	if v < 1e-6 {
+		v = 1e-6
+	}
+	return v
+}
+
+// arState is one AR(1) log-noise channel.
+type arState struct{ x float64 }
+
+// step advances the Ornstein-Uhlenbeck log-noise by dt minutes and
+// returns the multiplicative factor exp(x).
+func (a *arState) step(thetaMin, sigma, dtMin float64, rng *rand.Rand) float64 {
+	if thetaMin <= 0 || sigma <= 0 {
+		return 1
+	}
+	phi := math.Exp(-dtMin / thetaMin)
+	// Stationary discretization: x' = phi*x + sqrt(1-phi^2)*sigma*N(0,1).
+	a.x = phi*a.x + math.Sqrt(1-phi*phi)*sigma*rng.NormFloat64()
+	return math.Exp(a.x - sigma*sigma/2) // mean-one lognormal
+}
+
+// init draws the stationary distribution so jobs start in equilibrium.
+func (a *arState) init(sigma float64, rng *rand.Rand) {
+	a.x = sigma * rng.NormFloat64()
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"supremm/internal/cluster"
+)
+
+func TestSWFRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig(cluster.RangerConfig().Scaled(64), 5)
+	cfg.HorizonMin = 7 * 24 * 60
+	jobs := NewGenerator(cfg).Generate()
+	if len(jobs) < 50 {
+		t.Fatalf("only %d jobs", len(jobs))
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, jobs, 16); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSWF(&buf, 16, DefaultApps(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(back), len(jobs))
+	}
+	byID := map[int64]*Job{}
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	for _, j := range back {
+		orig := byID[j.ID]
+		if orig == nil {
+			t.Fatalf("job %d not in original", j.ID)
+		}
+		if j.Nodes != orig.Nodes {
+			t.Errorf("job %d nodes %d vs %d", j.ID, j.Nodes, orig.Nodes)
+		}
+		// Times quantized to whole seconds.
+		if math.Abs(j.SubmitMin-orig.SubmitMin) > 1.0/60+1e-9 {
+			t.Errorf("job %d submit %v vs %v", j.ID, j.SubmitMin, orig.SubmitMin)
+		}
+		if math.Abs(j.RuntimeMin-orig.RuntimeMin) > 1.0/60+1e-9 {
+			t.Errorf("job %d runtime %v vs %v", j.ID, j.RuntimeMin, orig.RuntimeMin)
+		}
+		// The header app mapping restores the archetype by name.
+		if j.App.Name != orig.App.Name {
+			t.Errorf("job %d app %q vs %q", j.ID, j.App.Name, orig.App.Name)
+		}
+		// Status survives modulo the SWF 3-state vocabulary.
+		switch orig.Status {
+		case Completed:
+			if j.Status != Completed {
+				t.Errorf("job %d status %v", j.ID, j.Status)
+			}
+		case Failed:
+			if j.Status != Failed {
+				t.Errorf("job %d status %v", j.ID, j.Status)
+			}
+		default: // Timeout/NodeFail -> 5 -> Timeout
+			if j.Status != Timeout {
+				t.Errorf("job %d status %v", j.ID, j.Status)
+			}
+		}
+	}
+}
+
+func TestReadSWFForeignTrace(t *testing.T) {
+	// A hand-written trace without app-mapping comments: app ids map
+	// round-robin onto the catalogue, unusable rows are skipped.
+	trace := `; Comment line
+; UnixStartTime: 0
+1 0 10 3600 32 -1 -1 32 -1 7200 1 3 -1 2 -1 -1 -1 -1
+2 60 -1 1800 -1 -1 -1 16 -1 -1 0 4 -1 5 -1 -1 -1 -1
+3 120 -1 -1 16 -1 -1 16 -1 -1 1 3 -1 2 -1 -1 -1 -1
+4 180 -1 600 8 -1 -1 8 -1 1200 5 9 -1 -7 -1 -1 -1 -1
+`
+	jobs, err := ReadSWF(strings.NewReader(trace), 16, DefaultApps(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 3 has runtime -1: skipped.
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3", len(jobs))
+	}
+	j1 := jobs[0]
+	if j1.ID != 1 || j1.Nodes != 2 || j1.RuntimeMin != 60 {
+		t.Errorf("job 1: %+v", j1)
+	}
+	if j1.ReqMin != 120 {
+		t.Errorf("job 1 req = %v", j1.ReqMin)
+	}
+	// Row 2: procs from requested field; status 0 -> Failed.
+	if jobs[1].Nodes != 1 || jobs[1].Status != Failed {
+		t.Errorf("job 2: %+v", jobs[1])
+	}
+	// Row 4: status 5 -> Timeout; negative app id handled.
+	if jobs[2].Status != Timeout || jobs[2].App == nil {
+		t.Errorf("job 4: %+v", jobs[2])
+	}
+	// Same user id shares the user object.
+	if jobs[0].User != nil && jobs[0].User.Name == "" {
+		t.Error("user not materialized")
+	}
+}
+
+func TestReadSWFErrors(t *testing.T) {
+	apps := DefaultApps()
+	if _, err := ReadSWF(strings.NewReader("1 2 3\n"), 16, apps, 1); err == nil {
+		t.Error("short line should error")
+	}
+	if _, err := ReadSWF(strings.NewReader("1 x 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18\n"), 16, apps, 1); err == nil {
+		t.Error("non-numeric field should error")
+	}
+	if _, err := ReadSWF(strings.NewReader(""), 0, apps, 1); err == nil {
+		t.Error("bad coresPerNode should error")
+	}
+	if _, err := ReadSWF(strings.NewReader(""), 16, nil, 1); err == nil {
+		t.Error("empty catalogue should error")
+	}
+	empty, err := ReadSWF(strings.NewReader("; only comments\n"), 16, apps, 1)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("comment-only trace: %v, %v", empty, err)
+	}
+}
+
+func TestSWFStreamRunsThroughSim(t *testing.T) {
+	// The imported trace must be schedulable: submit-sorted, positive
+	// geometry. (The full engine replay is exercised in the sim tests
+	// via Config.Jobs.)
+	trace := "1 0 -1 3600 16 -1 -1 16 -1 7200 1 1 -1 1 -1 -1 -1 -1\n" +
+		"2 300 -1 1800 32 -1 -1 32 -1 3600 1 2 -1 2 -1 -1 -1 -1\n"
+	jobs, err := ReadSWF(strings.NewReader(trace), 16, DefaultApps(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for _, j := range jobs {
+		if j.SubmitMin < prev {
+			t.Fatal("not sorted")
+		}
+		prev = j.SubmitMin
+		if j.Nodes < 1 || j.RuntimeMin <= 0 || j.ReqMin <= 0 {
+			t.Errorf("bad geometry: %+v", j)
+		}
+		if j.Seed == 0 {
+			t.Error("seed not derived")
+		}
+	}
+}

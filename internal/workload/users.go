@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// User is one account in the synthetic population. Activity follows a
+// heavy-tailed (Pareto) distribution so a handful of users dominate
+// node-hours, matching the paper's ~2000-user Ranger population where
+// the analyses single out "5 heavy users" (Fig 2) and circled outliers
+// (Figs 4-5).
+type User struct {
+	ID      int
+	Name    string
+	Science Science
+	// Activity is the relative submission intensity; the population is
+	// normalized so activities sum to 1.
+	Activity float64
+	// AppWeights maps app names to selection weights for this user.
+	AppWeights map[string]float64
+	// IdleMul is a personal inefficiency multiplier (process binding
+	// mistakes, undersubscription habits); mostly 1, occasionally large.
+	IdleMul float64
+	// ScaleMul scales the user's typical job size (nodes).
+	ScaleMul float64
+}
+
+// PickApp draws an application for a new job of this user.
+func (u *User) PickApp(apps []*App, rng *rand.Rand) *App {
+	var total float64
+	for _, a := range apps {
+		total += u.AppWeights[a.Name]
+	}
+	if total <= 0 {
+		return apps[rng.Intn(len(apps))]
+	}
+	x := rng.Float64() * total
+	for _, a := range apps {
+		x -= u.AppWeights[a.Name]
+		if x < 0 {
+			return a
+		}
+	}
+	return apps[len(apps)-1]
+}
+
+// PopulationConfig controls user population synthesis.
+type PopulationConfig struct {
+	Users int
+	Seed  int64
+	// ParetoAlpha shapes the activity tail; smaller is heavier. The
+	// default 1.2 makes the top 5 of 200 users carry roughly a third of
+	// the load, consistent with typical HPC center accounting.
+	ParetoAlpha float64
+	// InefficientFrac is the fraction of users given a large personal
+	// idle multiplier — the Fig 4 outlier tail.
+	InefficientFrac float64
+	Apps            []*App
+}
+
+// DefaultPopulationConfig returns a 200-user population over the default
+// app catalogue.
+func DefaultPopulationConfig(seed int64) PopulationConfig {
+	return PopulationConfig{
+		Users:           200,
+		Seed:            seed,
+		ParetoAlpha:     1.2,
+		InefficientFrac: 0.06,
+		Apps:            DefaultApps(),
+	}
+}
+
+// NewPopulation synthesizes the user population. Determinism: the same
+// config yields byte-identical users.
+func NewPopulation(cfg PopulationConfig) []*User {
+	if cfg.Users <= 0 {
+		return nil
+	}
+	if cfg.ParetoAlpha <= 0 {
+		cfg.ParetoAlpha = 1.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sciences := AllSciences()
+	// Science popularity: MD-heavy, as at TACC.
+	sciWeights := map[Science]float64{
+		MolecularBio: 0.22, Physics: 0.13, Astronomy: 0.09, Materials: 0.13,
+		ChemEng: 0.08, Atmospheric: 0.08, EarthSciences: 0.07,
+		Chemistry: 0.12, OtherScience: 0.08,
+	}
+
+	users := make([]*User, cfg.Users)
+	var totalAct float64
+	for i := range users {
+		sci := drawScience(sciences, sciWeights, rng)
+		u := &User{
+			ID:      i + 1,
+			Name:    fmt.Sprintf("user%04d", i+1),
+			Science: sci,
+			// Pareto(alpha) activity with unit scale.
+			Activity:   math.Pow(1-rng.Float64(), -1/cfg.ParetoAlpha),
+			AppWeights: make(map[string]float64),
+			IdleMul:    1,
+			ScaleMul:   math.Exp(0.4 * rng.NormFloat64()),
+		}
+		// Users concentrate on 1-3 codes, preferring their own field.
+		picks := 1 + rng.Intn(3)
+		for p := 0; p < picks; p++ {
+			app := pickAppForScience(cfg.Apps, sci, rng)
+			u.AppWeights[app.Name] += 1 / float64(p+1)
+		}
+		// A sliver of everything else so profiles are not degenerate.
+		for _, a := range cfg.Apps {
+			u.AppWeights[a.Name] += 0.02 * a.Popularity
+		}
+		if rng.Float64() < cfg.InefficientFrac {
+			// An inefficient user: strong personal idle multiplier and a
+			// dominant habit of serial farming. These create the Fig 4
+			// outliers (circled users at 87-89% idle) whose profiles
+			// otherwise look normal (Fig 5).
+			u.IdleMul = 3 + rng.Float64()*5
+			u.AppWeights["serialfarm"] += 8
+		}
+		users[i] = u
+		totalAct += u.Activity
+	}
+	for _, u := range users {
+		u.Activity /= totalAct
+	}
+	return users
+}
+
+func drawScience(order []Science, weights map[Science]float64, rng *rand.Rand) Science {
+	var total float64
+	for _, s := range order {
+		total += weights[s]
+	}
+	x := rng.Float64() * total
+	for _, s := range order {
+		x -= weights[s]
+		if x < 0 {
+			return s
+		}
+	}
+	return order[len(order)-1]
+}
+
+// pickAppForScience prefers apps in the user's field (5x weight).
+func pickAppForScience(apps []*App, sci Science, rng *rand.Rand) *App {
+	var total float64
+	for _, a := range apps {
+		w := a.Popularity
+		if a.Science == sci {
+			w *= 5
+		}
+		total += w
+	}
+	x := rng.Float64() * total
+	for _, a := range apps {
+		w := a.Popularity
+		if a.Science == sci {
+			w *= 5
+		}
+		x -= w
+		if x < 0 {
+			return a
+		}
+	}
+	return apps[len(apps)-1]
+}
+
+// TopUsersByActivity returns the n most active users, most active first.
+func TopUsersByActivity(users []*User, n int) []*User {
+	sorted := append([]*User(nil), users...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Activity > sorted[j].Activity })
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}

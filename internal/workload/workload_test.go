@@ -1,0 +1,332 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"supremm/internal/cluster"
+)
+
+func TestDefaultAppsCatalogue(t *testing.T) {
+	apps := DefaultApps()
+	if len(apps) < 10 {
+		t.Fatalf("expected a rich catalogue, got %d apps", len(apps))
+	}
+	var totalPop float64
+	names := map[string]bool{}
+	for _, a := range apps {
+		if names[a.Name] {
+			t.Errorf("duplicate app %q", a.Name)
+		}
+		names[a.Name] = true
+		totalPop += a.Popularity
+		if a.Profile.CPUIdleFrac < 0 || a.Profile.CPUIdleFrac > 0.98 {
+			t.Errorf("%s: idle frac %v out of range", a.Name, a.Profile.CPUIdleFrac)
+		}
+		if a.MinNodes < 1 || a.MaxNodes < a.MinNodes {
+			t.Errorf("%s: bad node bounds [%d,%d]", a.Name, a.MinNodes, a.MaxNodes)
+		}
+		if a.RuntimeLogMean <= 0 || a.MaxRuntimeMin <= 0 {
+			t.Errorf("%s: bad runtime params", a.Name)
+		}
+		if a.FailureProb+a.TimeoutProb > 0.5 {
+			t.Errorf("%s: implausible failure rates", a.Name)
+		}
+	}
+	if math.Abs(totalPop-1) > 0.05 {
+		t.Errorf("popularity sum = %v, want ~1", totalPop)
+	}
+	// The paper's three MD codes must be present.
+	for _, name := range []string{"namd", "amber", "gromacs"} {
+		if AppByName(apps, name) == nil {
+			t.Errorf("missing MD code %q", name)
+		}
+	}
+	if AppByName(apps, "doesnotexist") != nil {
+		t.Error("AppByName should return nil for unknown app")
+	}
+}
+
+func TestAmberLessEfficientThanNAMDAndGromacs(t *testing.T) {
+	// Fig 3: "NAMD and GROMACS run more efficiently than AMBER".
+	apps := DefaultApps()
+	amber := AppByName(apps, "amber").Profile.CPUIdleFrac
+	namd := AppByName(apps, "namd").Profile.CPUIdleFrac
+	gromacs := AppByName(apps, "gromacs").Profile.CPUIdleFrac
+	if !(amber > namd && amber > gromacs) {
+		t.Errorf("amber idle %v should exceed namd %v and gromacs %v", amber, namd, gromacs)
+	}
+}
+
+func TestClusterMods(t *testing.T) {
+	apps := DefaultApps()
+	gromacs := AppByName(apps, "gromacs")
+	namd := AppByName(apps, "namd")
+	// NAMD is nearly cluster-invariant (no modifier); GROMACS differs.
+	if m := namd.Mod("lonestar4"); m != one() {
+		t.Errorf("namd should have identity modifier, got %+v", m)
+	}
+	if m := gromacs.Mod("lonestar4"); m.FlopsMul <= 1 {
+		t.Errorf("gromacs LS4 flops modifier = %v, want > 1", m.FlopsMul)
+	}
+	if m := gromacs.Mod("ranger"); m != one() {
+		t.Errorf("unknown cluster should be identity, got %+v", m)
+	}
+}
+
+func TestPopulationDeterminism(t *testing.T) {
+	a := NewPopulation(DefaultPopulationConfig(42))
+	b := NewPopulation(DefaultPopulationConfig(42))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Activity != b[i].Activity ||
+			a[i].IdleMul != b[i].IdleMul || a[i].Science != b[i].Science {
+			t.Fatalf("user %d differs between identically-seeded populations", i)
+		}
+	}
+	c := NewPopulation(DefaultPopulationConfig(43))
+	same := true
+	for i := range a {
+		if a[i].Activity != c[i].Activity {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical activities")
+	}
+}
+
+func TestPopulationProperties(t *testing.T) {
+	users := NewPopulation(DefaultPopulationConfig(7))
+	if len(users) != 200 {
+		t.Fatalf("users = %d, want 200", len(users))
+	}
+	var total float64
+	inefficient := 0
+	for _, u := range users {
+		total += u.Activity
+		if u.Activity <= 0 {
+			t.Errorf("%s: non-positive activity", u.Name)
+		}
+		if u.IdleMul > 2 {
+			inefficient++
+		}
+		if len(u.AppWeights) == 0 {
+			t.Errorf("%s: no app weights", u.Name)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("activities sum to %v, want 1", total)
+	}
+	// ~6% inefficient, allow wide slack for a 200-user draw.
+	if inefficient < 3 || inefficient > 30 {
+		t.Errorf("inefficient users = %d, want roughly 12", inefficient)
+	}
+	// Heavy tail: top 5 users should hold a disproportionate share.
+	top := TopUsersByActivity(users, 5)
+	var topShare float64
+	for _, u := range top {
+		topShare += u.Activity
+	}
+	if topShare < 0.08 {
+		t.Errorf("top-5 activity share = %v, want heavy tail > 0.08", topShare)
+	}
+	if len(TopUsersByActivity(users, 5000)) != 200 {
+		t.Error("TopUsersByActivity should clamp n")
+	}
+	if NewPopulation(PopulationConfig{}) != nil {
+		t.Error("zero users should return nil")
+	}
+}
+
+func TestPickAppPrefersUserWeights(t *testing.T) {
+	apps := DefaultApps()
+	u := &User{AppWeights: map[string]float64{"namd": 100}}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 500; i++ {
+		counts[u.PickApp(apps, rng).Name]++
+	}
+	if counts["namd"] < 450 {
+		t.Errorf("namd picked %d/500, want dominant", counts["namd"])
+	}
+	// Empty weights fall back to uniform.
+	u2 := &User{AppWeights: map[string]float64{}}
+	if a := u2.PickApp(apps, rng); a == nil {
+		t.Error("empty weights should still pick an app")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := DefaultGenConfig(cluster.RangerConfig().Scaled(32), 99)
+	cfg.HorizonMin = 3 * 24 * 60
+	a := NewGenerator(cfg).Generate()
+	b := NewGenerator(cfg).Generate()
+	if len(a) != len(b) {
+		t.Fatalf("job counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].SubmitMin != b[i].SubmitMin ||
+			a[i].Nodes != b[i].Nodes || a[i].RuntimeMin != b[i].RuntimeMin ||
+			a[i].Seed != b[i].Seed {
+			t.Fatalf("job %d differs between identically-seeded runs", i)
+		}
+	}
+}
+
+func TestGeneratorStreamProperties(t *testing.T) {
+	cc := cluster.RangerConfig().Scaled(64)
+	cfg := DefaultGenConfig(cc, 5)
+	cfg.HorizonMin = 14 * 24 * 60
+	jobs := NewGenerator(cfg).Generate()
+	if len(jobs) < 100 {
+		t.Fatalf("only %d jobs generated", len(jobs))
+	}
+	var prev float64
+	var nodeMin float64
+	statuses := map[ExitStatus]int{}
+	for _, j := range jobs {
+		if j.SubmitMin < prev {
+			t.Fatal("stream not sorted by submit time")
+		}
+		prev = j.SubmitMin
+		if j.Nodes < 1 || j.Nodes > 512 {
+			t.Errorf("job %d nodes = %d", j.ID, j.Nodes)
+		}
+		if j.RuntimeMin < 1 || j.RuntimeMin > 2880 {
+			t.Errorf("job %d runtime = %v", j.ID, j.RuntimeMin)
+		}
+		if j.User == nil || j.App == nil {
+			t.Fatalf("job %d missing user/app", j.ID)
+		}
+		nodeMin += float64(j.Nodes) * j.RuntimeMin
+		statuses[j.Status]++
+	}
+	// Offered load should be near the utilization target.
+	offered := nodeMin / (cfg.HorizonMin * float64(cc.Nodes))
+	if offered < 0.8*cfg.UtilizationTarget || offered > 1.3*cfg.UtilizationTarget {
+		t.Errorf("offered load = %v, want ~%v", offered, cfg.UtilizationTarget)
+	}
+	if statuses[Completed] < len(jobs)/2 {
+		t.Errorf("completed = %d of %d, too few", statuses[Completed], len(jobs))
+	}
+	if statuses[Failed] == 0 || statuses[Timeout] == 0 {
+		t.Error("expected some failures and timeouts in a large stream")
+	}
+}
+
+func TestWeightedJobLengthNearPaper(t *testing.T) {
+	// §4.3.4: Ranger node-hour-weighted mean job length 549 min,
+	// Lonestar4 446 min. Check the generator lands in the right
+	// neighbourhood and preserves the ordering.
+	measure := func(cc cluster.Config, seed int64) float64 {
+		cfg := DefaultGenConfig(cc, seed)
+		cfg.HorizonMin = 30 * 24 * 60
+		jobs := NewGenerator(cfg).Generate()
+		var wsum, w float64
+		for _, j := range jobs {
+			nh := float64(j.Nodes) * j.RuntimeMin
+			wsum += nh * j.RuntimeMin
+			w += nh
+		}
+		return wsum / w
+	}
+	ranger := measure(cluster.RangerConfig().Scaled(64), 3)
+	ls4 := measure(cluster.Lonestar4Config().Scaled(64), 3)
+	if ranger < 350 || ranger > 850 {
+		t.Errorf("Ranger weighted job length = %v min, want ~549", ranger)
+	}
+	if ls4 < 280 || ls4 > 700 {
+		t.Errorf("LS4 weighted job length = %v min, want ~446", ls4)
+	}
+	if ls4 >= ranger {
+		t.Errorf("LS4 weighted length (%v) should be below Ranger (%v)", ls4, ranger)
+	}
+}
+
+func TestExitStatusString(t *testing.T) {
+	want := map[ExitStatus]string{
+		Completed: "COMPLETED", Failed: "FAILED",
+		Timeout: "TIMEOUT", NodeFail: "NODE_FAIL",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), str)
+		}
+	}
+	if ExitStatus(42).String() != "EXIT(42)" {
+		t.Errorf("unknown status = %q", ExitStatus(42).String())
+	}
+}
+
+func TestNodeHours(t *testing.T) {
+	j := &Job{Nodes: 4, RuntimeMin: 90}
+	if got := j.NodeHours(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("NodeHours = %v, want 6", got)
+	}
+}
+
+func TestDiurnalIntensityMeanOne(t *testing.T) {
+	// Integrate over a full week at 1-minute resolution: mean ~1.
+	var sum, peak float64
+	const week = 7 * 24 * 60
+	for m := 0; m < week; m++ {
+		v := DiurnalIntensity(float64(m))
+		sum += v
+		if v > peak {
+			peak = v
+		}
+		if v <= 0 {
+			t.Fatalf("intensity at %d = %v", m, v)
+		}
+	}
+	if mean := sum / week; math.Abs(mean-1) > 0.01 {
+		t.Errorf("mean intensity = %v, want 1", mean)
+	}
+	if peak > diurnalPeak {
+		t.Errorf("peak %v exceeds thinning bound %v", peak, diurnalPeak)
+	}
+	// Afternoon beats pre-dawn on a weekday.
+	if DiurnalIntensity(16*60) <= DiurnalIntensity(4*60) {
+		t.Error("4pm should out-submit 4am")
+	}
+	// Weekday beats weekend at the same hour (minute 0 = Monday 00:00,
+	// so day 5 = Saturday).
+	if DiurnalIntensity(16*60) <= DiurnalIntensity((5*24+16)*60) {
+		t.Error("weekday should out-submit weekend")
+	}
+}
+
+func TestDiurnalGeneration(t *testing.T) {
+	cfg := DefaultGenConfig(cluster.RangerConfig().Scaled(64), 13)
+	cfg.HorizonMin = 28 * 24 * 60
+	cfg.Diurnal = true
+	jobs := NewGenerator(cfg).Generate()
+	if len(jobs) < 200 {
+		t.Fatalf("only %d jobs", len(jobs))
+	}
+	// Bucket submissions by hour of day: afternoon hours should beat
+	// pre-dawn hours clearly.
+	byHour := make([]int, 24)
+	for _, j := range jobs {
+		byHour[int(math.Mod(j.SubmitMin, 24*60))/60]++
+	}
+	night := byHour[2] + byHour[3] + byHour[4] + byHour[5]
+	afternoon := byHour[13] + byHour[14] + byHour[15] + byHour[16]
+	if afternoon < night+night/2 {
+		t.Errorf("afternoon %d vs night %d: diurnal shape missing", afternoon, night)
+	}
+	// The offered load stays near the target despite thinning.
+	var nodeMin float64
+	for _, j := range jobs {
+		nodeMin += float64(j.Nodes) * j.RuntimeMin
+	}
+	offered := nodeMin / (cfg.HorizonMin * 64)
+	if offered < 0.75*cfg.UtilizationTarget || offered > 1.35*cfg.UtilizationTarget {
+		t.Errorf("diurnal offered load = %v, want ~%v", offered, cfg.UtilizationTarget)
+	}
+}
