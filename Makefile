@@ -1,9 +1,9 @@
 # Convenience targets for the SUPReMM reproduction.
 GO ?= go
 
-.PHONY: all build test vet bench figures dashboard clean
+.PHONY: all build test test-race vet bench bench-ingest figures dashboard clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,18 @@ vet:
 test:
 	$(GO) test ./...
 
+test-race:
+	$(GO) test -race ./...
+
 # Full benchmark pass: regenerates every table/figure headline metric.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Ingest hot-path benchmarks only (parse + raw ETL), recorded for the
+# before/after table in EXPERIMENTS.md.
+bench-ingest:
+	$(GO) test -run '^$$' -bench 'BenchmarkParseFile|BenchmarkParseStream|BenchmarkIngestRaw' -benchmem \
+		./internal/taccstats ./internal/ingest | tee BENCH_ingest.txt
 
 # Render every paper figure as text plus vector/HTML artifacts.
 figures:

@@ -4,6 +4,10 @@
 // "ingest into the data warehouse" step (Fig 1).
 //
 //	ingest -raw ./data/raw -acct ./data/accounting.log -out ./data
+//
+// Profiling the hot path (see "Ingest performance" in README.md):
+//
+//	ingest -raw ./data/raw -acct ./data/accounting.log -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -11,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"supremm/internal/ingest"
 	"supremm/internal/sched"
@@ -19,20 +25,52 @@ import (
 
 func main() {
 	var (
-		rawDir  = flag.String("raw", "", "directory of raw TACC_Stats files (host/day.raw)")
-		acctFl  = flag.String("acct", "", "accounting log file")
-		out     = flag.String("out", "data", "output directory")
-		workers = flag.Int("workers", 0, "parallel host workers (0 = GOMAXPROCS)")
+		rawDir     = flag.String("raw", "", "directory of raw TACC_Stats files (host/day.raw)")
+		acctFl     = flag.String("acct", "", "accounting log file")
+		out        = flag.String("out", "data", "output directory")
+		workers    = flag.Int("workers", 0, "parallel host workers (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *rawDir == "" || *acctFl == "" {
-		fmt.Fprintln(os.Stderr, "usage: ingest -raw DIR -acct FILE [-out DIR] [-workers N]")
+		fmt.Fprintln(os.Stderr, "usage: ingest -raw DIR -acct FILE [-out DIR] [-workers N] [-cpuprofile FILE] [-memprofile FILE]")
 		os.Exit(2)
 	}
-	if err := runWorkers(*rawDir, *acctFl, *out, *workers); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ingest:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ingest:", err)
+			os.Exit(1)
+		}
+	}
+	err := runWorkers(*rawDir, *acctFl, *out, *workers)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if perr := writeHeapProfile(*memprofile); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ingest:", err)
 		os.Exit(1)
 	}
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation stats
+	return pprof.WriteHeapProfile(f)
 }
 
 // run keeps the sequential entry point for tests; the CLI goes through

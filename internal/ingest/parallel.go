@@ -3,7 +3,6 @@ package ingest
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -113,54 +112,30 @@ func IngestRawParallel(dir string, acct []sched.AcctRecord, workers int) (*RawRe
 	return &RawResult{Store: st, Series: flattenBuckets(buckets), Unattributed: unattributed}, nil
 }
 
-// processHost parses one host's files into attributed intervals and
-// per-time buckets. It never touches shared state.
+// processHost streams one host's files into attributed intervals and
+// per-time buckets through the schema-compiled fast path. It never
+// touches shared state.
 func processHost(dir, host string, windows []jobWindow) *hostResult {
 	res := &hostResult{host: host, buckets: make(map[int64]*sysBucket)}
-	files, err := os.ReadDir(filepath.Join(dir, host))
+	err := streamHost(dir, host, func(prevTime, curTime int64, iv Interval) {
+		mid := prevTime + int64(iv.DtSec/2)
+		jobID := findJob(windows, mid)
+		if jobID != 0 {
+			res.intervals = append(res.intervals, attributedInterval{jobID: jobID, iv: iv})
+		} else {
+			res.unattributed++
+		}
+		b := res.buckets[curTime]
+		if b == nil {
+			b = &sysBucket{}
+			res.buckets[curTime] = b
+		}
+		b.fold(iv, jobID != 0)
+	})
 	if err != nil {
-		res.err = fmt.Errorf("ingest: read host dir %s: %w", host, err)
-		return res
-	}
-	var prev *hostSample
-	for _, fe := range sortedRawFiles(files) {
-		path := filepath.Join(dir, host, fe.Name())
-		f, err := parseRawFile(path)
-		if err != nil {
-			res.err = err
-			return res
-		}
-		for i := range f.Records {
-			cur := &hostSample{rec: &f.Records[i], schemas: f.Schemas}
-			if prev != nil {
-				res.fold(windows, prev, cur)
-			}
-			prev = cur
-		}
+		res.err = err
 	}
 	return res
-}
-
-// fold computes one interval and stores it host-locally.
-func (res *hostResult) fold(windows []jobWindow, prev, cur *hostSample) {
-	dt := float64(cur.rec.Time - prev.rec.Time)
-	if dt <= 0 {
-		return
-	}
-	iv := computeInterval(prev, cur, dt)
-	mid := prev.rec.Time + int64(dt/2)
-	jobID := findJob(windows, mid)
-	if jobID != 0 {
-		res.intervals = append(res.intervals, attributedInterval{jobID: jobID, iv: iv})
-	} else {
-		res.unattributed++
-	}
-	b := res.buckets[cur.rec.Time]
-	if b == nil {
-		b = &sysBucket{}
-		res.buckets[cur.rec.Time] = b
-	}
-	b.fold(iv, jobID != 0)
 }
 
 // merge adds another bucket's partial sums (same sample instant,

@@ -3,15 +3,12 @@ package ingest
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
-	"supremm/internal/procfs"
 	"supremm/internal/sched"
 	"supremm/internal/store"
-	"supremm/internal/taccstats"
 )
 
 // jobWindow is one job's occupancy of one host.
@@ -33,6 +30,10 @@ type RawResult struct {
 // dir/<hostname>/<day>.raw) and joins the counter deltas with the
 // accounting records to produce per-job summaries and the cluster-wide
 // series. This is the paper's Netezza/MySQL ingest stage.
+//
+// Files stream through the schema-compiled fast path: records are
+// reduced to Intervals as they are parsed, so peak memory per host is
+// two flat records rather than a materialized file.
 func IngestRaw(dir string, acct []sched.AcctRecord) (*RawResult, error) {
 	windowsByHost, identities := indexAccounting(acct)
 
@@ -46,25 +47,12 @@ func IngestRaw(dir string, acct []sched.AcctRecord) (*RawResult, error) {
 
 	for _, hd := range sortedDirs(hostDirs) {
 		host := hd.Name()
-		files, err := os.ReadDir(filepath.Join(dir, host))
+		windows := windowsByHost[host]
+		err := streamHost(dir, host, func(prevTime, curTime int64, iv Interval) {
+			unattributed += foldInterval(acc, buckets, windows, identities, prevTime, curTime, iv)
+		})
 		if err != nil {
-			return nil, fmt.Errorf("ingest: read host dir %s: %w", host, err)
-		}
-		var prev *hostSample
-		for _, fe := range sortedRawFiles(files) {
-			path := filepath.Join(dir, host, fe.Name())
-			f, err := parseRawFile(path)
-			if err != nil {
-				return nil, err
-			}
-			for i := range f.Records {
-				cur := &hostSample{rec: &f.Records[i], schemas: f.Schemas}
-				if prev != nil {
-					n := processInterval(acc, buckets, windowsByHost[host], identities, host, prev, cur)
-					unattributed += n
-				}
-				prev = cur
-			}
+			return nil, err
 		}
 	}
 
@@ -88,19 +76,6 @@ func IngestRaw(dir string, acct []sched.AcctRecord) (*RawResult, error) {
 		st.Add(rec)
 	}
 	return &RawResult{Store: st, Series: flattenBuckets(buckets), Unattributed: unattributed}, nil
-}
-
-func parseRawFile(path string) (*taccstats.File, error) {
-	fh, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("ingest: open %s: %w", path, err)
-	}
-	defer fh.Close()
-	f, err := taccstats.ParseFile(fh)
-	if err != nil {
-		return nil, fmt.Errorf("ingest: parse %s: %w", path, err)
-	}
-	return f, nil
 }
 
 // indexAccounting builds per-host occupancy windows and the identity
@@ -147,16 +122,6 @@ func findJob(windows []jobWindow, t int64) int64 {
 	return 0
 }
 
-// hostSample pairs a parsed record with its file's schemas.
-type hostSample struct {
-	rec     *taccstats.Record
-	schemas map[string]procfs.Schema
-}
-
-func (h *hostSample) get(typ, dev, key string) (uint64, bool) {
-	return h.rec.Get(h.schemas, typ, dev, key)
-}
-
 // eventDelta computes a counter delta with reset semantics: counters
 // that moved backwards were reprogrammed (zeroed) at a job boundary, so
 // the new value is the delta since the reset.
@@ -167,51 +132,16 @@ func eventDelta(prev, cur uint64) float64 {
 	return float64(cur)
 }
 
-// sumDevices sums an event delta over all devices of a type.
-func sumDevices(prev, cur *hostSample, typ, key string) float64 {
-	devs, ok := cur.rec.Data[typ]
-	if !ok {
-		return 0
-	}
-	var total float64
-	for dev := range devs {
-		c, _ := cur.get(typ, dev, key)
-		p, _ := prev.get(typ, dev, key)
-		total += eventDelta(p, c)
-	}
-	return total
-}
-
-// sumGauge sums a gauge over all devices at the current sample.
-func sumGauge(cur *hostSample, typ, key string) float64 {
-	devs, ok := cur.rec.Data[typ]
-	if !ok {
-		return 0
-	}
-	var total float64
-	for dev := range devs {
-		v, _ := cur.get(typ, dev, key)
-		total += float64(v)
-	}
-	return total
-}
-
-// processInterval converts one (prev, cur) record pair into an Interval,
-// attributes it to a job, and folds it into the system buckets. Returns
-// 1 if the interval matched no job window (still folded into the system
-// series, since idle nodes are part of the cluster view).
-func processInterval(acc *Accumulator, buckets map[int64]*sysBucket,
+// foldInterval attributes one interval to a job and folds it into the
+// system buckets. Returns 1 if the interval matched no job window (still
+// folded into the system series, since idle nodes are part of the
+// cluster view).
+func foldInterval(acc *Accumulator, buckets map[int64]*sysBucket,
 	windows []jobWindow, identities map[int64]store.JobRecord,
-	host string, prev, cur *hostSample) int {
-
-	dt := float64(cur.rec.Time - prev.rec.Time)
-	if dt <= 0 {
-		return 0
-	}
-	iv := computeInterval(prev, cur, dt)
+	prevTime, curTime int64, iv Interval) int {
 
 	// Attribute to the occupying job at the interval midpoint.
-	mid := prev.rec.Time + int64(dt/2)
+	mid := prevTime + int64(iv.DtSec/2)
 	jobID := findJob(windows, mid)
 	unattributed := 0
 	if jobID != 0 {
@@ -225,60 +155,13 @@ func processInterval(acc *Accumulator, buckets map[int64]*sysBucket,
 	}
 
 	// System bucket keyed by sample time.
-	b := buckets[cur.rec.Time]
+	b := buckets[curTime]
 	if b == nil {
 		b = &sysBucket{}
-		buckets[cur.rec.Time] = b
+		buckets[curTime] = b
 	}
 	b.fold(iv, jobID != 0)
-	_ = host
 	return unattributed
-}
-
-// computeInterval reduces one (prev, cur) record pair to metric-unit
-// deltas; shared by the sequential and parallel paths.
-func computeInterval(prev, cur *hostSample, dt float64) Interval {
-	// CPU fractions from scheduler-accounting deltas over all cores.
-	user := sumDevices(prev, cur, procfs.TypeCPU, "user") + sumDevices(prev, cur, procfs.TypeCPU, "nice")
-	sys := sumDevices(prev, cur, procfs.TypeCPU, "system") +
-		sumDevices(prev, cur, procfs.TypeCPU, "irq") + sumDevices(prev, cur, procfs.TypeCPU, "softirq")
-	idle := sumDevices(prev, cur, procfs.TypeCPU, "idle")
-	iowait := sumDevices(prev, cur, procfs.TypeCPU, "iowait")
-	totalCS := user + sys + idle + iowait
-
-	iv := Interval{DtSec: dt}
-	if totalCS > 0 {
-		iv.UserFrac = user / totalCS
-		iv.SysFrac = sys / totalCS
-		iv.IdleFrac = (idle + iowait) / totalCS
-	}
-	iv.MemUsedKB = sumGauge(cur, procfs.TypeMem, "MemUsed")
-
-	// FLOPS from whichever PMC block the architecture provides.
-	iv.Flops = sumDevices(prev, cur, procfs.TypeAMDPMC, "FLOPS") +
-		sumDevices(prev, cur, procfs.TypeIntelPMC, "FLOPS")
-
-	// Lustre client traffic by mount.
-	if devs, ok := cur.rec.Data[procfs.TypeLlite]; ok {
-		for dev := range devs {
-			c, _ := cur.get(procfs.TypeLlite, dev, "write_bytes")
-			p, _ := prev.get(procfs.TypeLlite, dev, "write_bytes")
-			d := eventDelta(p, c)
-			switch dev {
-			case "scratch":
-				iv.ScratchB += d
-			case "work":
-				iv.WorkB += d
-			}
-			cr, _ := cur.get(procfs.TypeLlite, dev, "read_bytes")
-			pr, _ := prev.get(procfs.TypeLlite, dev, "read_bytes")
-			iv.ReadB += eventDelta(pr, cr)
-		}
-	}
-	iv.IBTxB = sumDevices(prev, cur, procfs.TypeIB, "tx_bytes")
-	iv.IBRxB = sumDevices(prev, cur, procfs.TypeIB, "rx_bytes")
-	iv.LnetTxB = sumDevices(prev, cur, procfs.TypeLnet, "tx_bytes")
-	return iv
 }
 
 // sysBucket accumulates one sampling instant across hosts.
@@ -298,7 +181,11 @@ func (b *sysBucket) fold(iv Interval, busy bool) {
 		b.busy++
 	}
 	b.flops += iv.Flops
-	b.dt = iv.DtSec
+	if iv.DtSec > 0 {
+		// Keep the last positive dt, mirroring merge: a zero-dt interval
+		// must not wipe the rate denominator for the whole bucket.
+		b.dt = iv.DtSec
+	}
 	b.memKB += iv.MemUsedKB
 	b.user += iv.UserFrac
 	b.sys += iv.SysFrac

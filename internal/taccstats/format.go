@@ -125,7 +125,10 @@ func (w *Writer) printString(s string) error {
 }
 
 // Record is one parsed sample: a timestamp, an optional job mark, and
-// the value vectors keyed by type then device.
+// the counter values. Records built by ParseFile carry the nested Data
+// view; records delivered by ParseStream instead store their values in a
+// flat array described by the per-file Layout (see Flat/Layout) and have
+// a nil Data map.
 type Record struct {
 	Time int64
 	// Mark is "", "begin", "end" or "rotate".
@@ -133,6 +136,49 @@ type Record struct {
 	// JobID accompanies begin/end marks.
 	JobID int64
 	Data  map[string]map[string][]uint64
+
+	// Streaming representation: flat values at layout-assigned columns,
+	// with per-(type,device) presence bits.
+	flat    []uint64
+	present []bool
+	layout  *Layout
+}
+
+// Layout returns the per-file column layout backing a streamed record,
+// or nil for records holding the nested Data view.
+func (r *Record) Layout() *Layout { return r.layout }
+
+// Flat returns the flat value array of a streamed record, indexed by the
+// columns its Layout assigns. Absent devices read zero. The slice is
+// reused by the parser and only valid until the ParseStream callback
+// returns.
+func (r *Record) Flat() []uint64 { return r.flat }
+
+// Materialize returns a deep, self-contained copy of the record with the
+// nested Data view populated; safe to retain after the ParseStream
+// callback returns.
+func (r *Record) Materialize() Record {
+	out := Record{Time: r.Time, Mark: r.Mark, JobID: r.JobID}
+	if r.layout == nil {
+		out.Data = r.Data
+		return out
+	}
+	out.Data = make(map[string]map[string][]uint64)
+	for i, s := range r.layout.slots {
+		if i >= len(r.present) || !r.present[i] {
+			continue
+		}
+		w := len(s.t.schema)
+		vals := make([]uint64, w)
+		copy(vals, r.flat[s.off:s.off+w])
+		devs := out.Data[s.t.name]
+		if devs == nil {
+			devs = make(map[string][]uint64)
+			out.Data[s.t.name] = devs
+		}
+		devs[s.dev] = vals
+	}
+	return out
 }
 
 // File is a fully parsed raw file.
@@ -144,80 +190,19 @@ type File struct {
 	Records  []Record
 }
 
-// ParseFile reads a complete raw file.
+// ParseFile reads a complete raw file, materializing every record. It is
+// a compatibility wrapper over the streaming fast path (ParseStream).
 func ParseFile(r io.Reader) (*File, error) {
-	f := &File{Schemas: make(map[string]procfs.Schema)}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 16<<20)
-
-	var cur *Record
-	lineNo := 0
-	flush := func() {
-		if cur != nil {
-			f.Records = append(f.Records, *cur)
-			cur = nil
-		}
-	}
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		switch line[0] {
-		case '$':
-			if err := f.parseHeader(line); err != nil {
-				return nil, fmt.Errorf("line %d: %w", lineNo, err)
-			}
-		case '!':
-			name, schema, err := parseSchemaLine(line)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: %w", lineNo, err)
-			}
-			f.Schemas[name] = schema
-		default:
-			if line[0] >= '0' && line[0] <= '9' {
-				// Timestamp line: new record.
-				flush()
-				rec, err := parseTimestampLine(line)
-				if err != nil {
-					return nil, fmt.Errorf("line %d: %w", lineNo, err)
-				}
-				cur = rec
-				continue
-			}
-			if cur == nil {
-				return nil, fmt.Errorf("line %d: data before first timestamp", lineNo)
-			}
-			if err := parseDataLine(line, f.Schemas, cur); err != nil {
-				return nil, fmt.Errorf("line %d: %w", lineNo, err)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	var recs []Record
+	f, err := ParseStream(r, func(rec *Record) error {
+		recs = append(recs, rec.Materialize())
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	flush()
+	f.Records = recs
 	return f, nil
-}
-
-func (f *File) parseHeader(line string) error {
-	fields := strings.SplitN(line[1:], " ", 2)
-	if len(fields) != 2 {
-		return fmt.Errorf("malformed header %q", line)
-	}
-	switch fields[0] {
-	case "tacc_stats":
-		f.Version = fields[1]
-	case "hostname":
-		f.Hostname = fields[1]
-	case "arch":
-		f.Arch = fields[1]
-	default:
-		// Unknown headers are tolerated (forward compatibility), as the
-		// deployed parser does.
-	}
-	return nil
 }
 
 func parseSchemaLine(line string) (string, procfs.Schema, error) {
@@ -245,68 +230,29 @@ func parseSchemaLine(line string) (string, procfs.Schema, error) {
 	return name, schema, nil
 }
 
-func parseTimestampLine(line string) (*Record, error) {
-	fields := strings.Fields(line)
-	ts, err := strconv.ParseInt(fields[0], 10, 64)
-	if err != nil {
-		return nil, fmt.Errorf("bad timestamp %q", fields[0])
-	}
-	rec := &Record{Time: ts, Data: make(map[string]map[string][]uint64)}
-	switch len(fields) {
-	case 1:
-	case 2:
-		if fields[1] != "rotate" {
-			return nil, fmt.Errorf("unknown bare mark %q", fields[1])
-		}
-		rec.Mark = fields[1]
-	case 3:
-		if fields[1] != "begin" && fields[1] != "end" {
-			return nil, fmt.Errorf("unknown job mark %q", fields[1])
-		}
-		rec.Mark = fields[1]
-		id, err := strconv.ParseInt(fields[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad job id %q", fields[2])
-		}
-		rec.JobID = id
-	default:
-		return nil, fmt.Errorf("malformed timestamp line %q", line)
-	}
-	return rec, nil
-}
-
-func parseDataLine(line string, schemas map[string]procfs.Schema, rec *Record) error {
-	fields := strings.Fields(line)
-	if len(fields) < 3 {
-		return fmt.Errorf("malformed data line %q", line)
-	}
-	typ, dev := fields[0], fields[1]
-	schema, ok := schemas[typ]
-	if !ok {
-		return fmt.Errorf("data for undeclared type %q", typ)
-	}
-	if len(fields)-2 != len(schema) {
-		return fmt.Errorf("type %q: %d values for %d-key schema", typ, len(fields)-2, len(schema))
-	}
-	vals := make([]uint64, len(schema))
-	for i, s := range fields[2:] {
-		v, err := strconv.ParseUint(s, 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad value %q: %v", s, err)
-		}
-		vals[i] = v
-	}
-	devs := rec.Data[typ]
-	if devs == nil {
-		devs = make(map[string][]uint64)
-		rec.Data[typ] = devs
-	}
-	devs[dev] = vals
-	return nil
-}
-
-// Get reads one value from a record; missing entries read 0 with ok=false.
+// Get reads one value from a record; missing entries read 0 with
+// ok=false. Streamed records resolve through their Layout (ignoring
+// schemas); materialized records resolve through the nested maps.
 func (r *Record) Get(schemas map[string]procfs.Schema, typ, dev, key string) (uint64, bool) {
+	if r.layout != nil {
+		tc := r.layout.byName[typ]
+		if tc == nil {
+			return 0, false
+		}
+		di, ok := tc.byDev[dev]
+		if !ok {
+			return 0, false
+		}
+		d := tc.devs[di]
+		if d.slot >= len(r.present) || !r.present[d.slot] {
+			return 0, false
+		}
+		ki, ok := tc.keyIdx[key]
+		if !ok {
+			return 0, false
+		}
+		return r.flat[d.off+ki], true
+	}
 	devs, ok := r.Data[typ]
 	if !ok {
 		return 0, false

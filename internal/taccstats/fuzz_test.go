@@ -1,0 +1,87 @@
+package taccstats
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedCorpus renders the round-trip fixture plus the malformed-input
+// corpus exercised by TestParseRejectsMalformed, so the fuzzer starts
+// from both accepting and rejecting paths.
+func fuzzSeedCorpus(tb testing.TB) [][]byte {
+	tb.Helper()
+	snap := rangerSnap()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(snap, "amd64_opteron"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.WriteRecord(snap, "begin 42"); err != nil {
+		tb.Fatal(err)
+	}
+	snap.Time += 600
+	if err := w.WriteRecord(snap, ""); err != nil {
+		tb.Fatal(err)
+	}
+	snap.Time += 600
+	if err := w.WriteRecord(snap, "end 42"); err != nil {
+		tb.Fatal(err)
+	}
+	header := "$tacc_stats 2.0\n$hostname h\n$arch a\n!cpu user,E,U=cs idle,E\n"
+	return [][]byte{
+		buf.Bytes(),
+		[]byte(header + "100 rotate\ncpu 0 1 2\n\n200\ncpu 0 3 4\n"),
+		[]byte(header + "cpu 0 1 2\n"),
+		[]byte(header + "100\nmem 0 1 2\n"),
+		[]byte(header + "100\ncpu 0 1 2 3\n"),
+		[]byte(header + "100\ncpu 0 1 x\n"),
+		[]byte(header + "100 weird\n"),
+		[]byte(header + "100 begin abc\n"),
+		[]byte(header + "100 begin 1 extra\n"),
+		[]byte("!cpu\n"),
+		[]byte("!cpu user,Z\n"),
+		[]byte("$loner\n"),
+		[]byte(header + "100\ncpu 0\n"),
+	}
+}
+
+// FuzzParseFile throws mutated raw files at both parser entry points:
+// neither may panic, both must agree on accept/reject, and on accepted
+// inputs the streamed records (materialized) must equal the ParseFile
+// records exactly.
+func FuzzParseFile(f *testing.F) {
+	for _, seed := range fuzzSeedCorpus(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pf, errFile := ParseFile(bytes.NewReader(data))
+
+		var streamed []Record
+		sf, errStream := ParseStream(bytes.NewReader(data), func(rec *Record) error {
+			streamed = append(streamed, rec.Materialize())
+			return nil
+		})
+
+		if (errFile == nil) != (errStream == nil) {
+			t.Fatalf("ParseFile err=%v, ParseStream err=%v", errFile, errStream)
+		}
+		if errFile != nil {
+			return
+		}
+		if pf.Hostname != sf.Hostname || pf.Arch != sf.Arch || pf.Version != sf.Version {
+			t.Fatalf("headers differ: %+v vs %+v", pf, sf)
+		}
+		if !reflect.DeepEqual(pf.Schemas, sf.Schemas) {
+			t.Fatalf("schemas differ")
+		}
+		if len(pf.Records) != len(streamed) {
+			t.Fatalf("record counts differ: %d vs %d", len(pf.Records), len(streamed))
+		}
+		for i := range streamed {
+			if !reflect.DeepEqual(pf.Records[i], streamed[i]) {
+				t.Fatalf("record %d differs:\n file   %+v\n stream %+v", i, pf.Records[i], streamed[i])
+			}
+		}
+	})
+}
