@@ -1,15 +1,26 @@
 # Convenience targets for the SUPReMM reproduction.
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-ingest figures dashboard clean
+.PHONY: all build test test-race vet lint fuzz-smoke bench bench-ingest figures dashboard clean
 
-all: build vet test test-race
+all: build vet lint test test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific invariants (counter deltas, determinism, hot-path
+# allocations, dropped writer errors) enforced by the supremmlint suite;
+# see DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/supremmlint ./...
+
+# Quick fuzz regression pass: replays the committed seed corpus plus a
+# short budget of new inputs against the raw-format parsers.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseFile -fuzztime 10s ./internal/taccstats
 
 test:
 	$(GO) test ./...

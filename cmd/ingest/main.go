@@ -85,7 +85,7 @@ func runWorkers(rawDir, acctPath, out string, workers int) error {
 		return err
 	}
 	acct, err := sched.ReadAcct(af)
-	af.Close()
+	_ = af.Close() // read-only file; nothing to lose on close
 	if err != nil {
 		return err
 	}
@@ -102,7 +102,7 @@ func runWorkers(rawDir, acctPath, out string, workers int) error {
 		return err
 	}
 	if err := res.Store.Save(jf); err != nil {
-		jf.Close()
+		_ = jf.Close() // save error wins
 		return err
 	}
 	if err := jf.Close(); err != nil {
@@ -113,7 +113,7 @@ func runWorkers(rawDir, acctPath, out string, workers int) error {
 		return err
 	}
 	if err := store.SaveSeries(sf, res.Series); err != nil {
-		sf.Close()
+		_ = sf.Close() // save error wins
 		return err
 	}
 	if err := sf.Close(); err != nil {

@@ -65,7 +65,7 @@ func run(clusterName string, nodes, days int, seed int64, out string, raw bool, 
 			return err
 		}
 		jobs, err := workload.ReadSWF(tf, cc.CoresPerNode(), workload.DefaultApps(), seed)
-		tf.Close()
+		_ = tf.Close() // read-only file; nothing to lose on close
 		if err != nil {
 			return err
 		}
@@ -85,7 +85,7 @@ func run(clusterName string, nodes, days int, seed int64, out string, raw bool, 
 			return err
 		}
 		if err := workload.WriteSWF(sf, stream, cc.CoresPerNode()); err != nil {
-			sf.Close()
+			_ = sf.Close() // write error wins
 			return err
 		}
 		if err := sf.Close(); err != nil {
@@ -139,7 +139,7 @@ func writeFile(path string, write func(*os.File) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		_ = f.Close() // write error wins
 		return fmt.Errorf("write %s: %w", path, err)
 	}
 	return f.Close()

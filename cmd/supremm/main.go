@@ -121,7 +121,9 @@ func run(days, nodes int, seed int64, fig, table int, corr, anomalies bool, advi
 				return err
 			}
 			if all || table == 1 {
-				fmt.Fprintf(out, "[%s]\n", r.Cluster)
+				if _, err := fmt.Fprintf(out, "[%s]\n", r.Cluster); err != nil {
+					return err
+				}
 				if err := report.Table1(out, tab); err != nil {
 					return err
 				}
@@ -203,7 +205,7 @@ func run(days, nodes int, seed int64, fig, table int, corr, anomalies bool, advi
 			return err
 		}
 		if err := report.HTMLDashboard(f, coreRealms...); err != nil {
-			f.Close()
+			_ = f.Close() // render error wins
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -229,12 +231,13 @@ func renderAdvice(out *os.File, app string, realms []*core.Realm) error {
 	if err := t.Render(out); err != nil {
 		return err
 	}
+	var err error
 	if choice.Best != "" {
-		fmt.Fprintf(out, "recommendation: run %s on %s\n", app, choice.Best)
+		_, err = fmt.Fprintf(out, "recommendation: run %s on %s\n", app, choice.Best)
 	} else {
-		fmt.Fprintf(out, "not enough evidence to recommend a system for %s\n", app)
+		_, err = fmt.Fprintf(out, "not enough evidence to recommend a system for %s\n", app)
 	}
-	return nil
+	return err
 }
 
 // renderComparison prints the cross-system table for funding agencies

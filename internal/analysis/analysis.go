@@ -1,0 +1,166 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that supremmlint's analyzers
+// are written against. The container this repo builds in has no module
+// cache and no network, so the canonical x/tools framework cannot be
+// vendored; this package provides the same Analyzer/Pass/Diagnostic
+// contract on top of the standard library's go/ast, go/token and
+// go/types, which is all the supremmlint analyzers need.
+//
+// The escape hatch shared by every analyzer is the comment directive
+//
+//	//supremmlint:allow <analyzer> [reason]
+//
+// placed on the flagged line or on the line immediately above it.
+// Function-scoped blessings use a doc-comment directive the individual
+// analyzer defines (for example counterdelta's supremmlint:wrapsafe).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is the one-line invariant statement shown by -help.
+	Doc string
+	// Run inspects a package and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path ("supremm/internal/ingest").
+	PkgPath string
+
+	diags      []Diagnostic
+	allowLines map[string]map[int]bool // filename -> lines carrying an allow directive
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an allow directive suppresses
+// it. Suppressed findings vanish: the directive is the reviewed,
+// greppable record of the exception.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowed(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings reported so far, in report order.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// allowed reports whether an "//supremmlint:allow <name>" directive
+// covers the given position (same line or the line directly above).
+func (p *Pass) allowed(pos token.Position) bool {
+	if p.allowLines == nil {
+		p.allowLines = make(map[string]map[int]bool)
+		for _, f := range p.Files {
+			tf := p.Fset.File(f.Pos())
+			if tf == nil {
+				continue
+			}
+			lines := p.allowLines[tf.Name()]
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					name, ok := allowTarget(c.Text)
+					if !ok || (name != p.Analyzer.Name && name != "all") {
+						continue
+					}
+					if lines == nil {
+						lines = make(map[int]bool)
+						p.allowLines[tf.Name()] = lines
+					}
+					lines[p.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+	}
+	lines := p.allowLines[pos.Filename]
+	return lines != nil && (lines[pos.Line] || lines[pos.Line-1])
+}
+
+// allowTarget extracts the analyzer name from an allow directive
+// comment, e.g. "//supremmlint:allow hotalloc: interned once per file".
+func allowTarget(comment string) (string, bool) {
+	const prefix = "//supremmlint:allow"
+	if !strings.HasPrefix(comment, prefix) {
+		return "", false
+	}
+	rest := strings.TrimSpace(comment[len(prefix):])
+	if rest == "" {
+		return "", false
+	}
+	name := rest
+	if i := strings.IndexAny(rest, " :\t"); i >= 0 {
+		name = rest[:i]
+	}
+	return name, true
+}
+
+// FuncHasDirective reports whether fn's doc comment carries the given
+// supremmlint directive (e.g. "supremmlint:wrapsafe"). Analyzers use it
+// for function-scoped blessings of reviewed helpers.
+func FuncHasDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.Contains(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// EnclosingFunc returns the function declaration in f whose body spans
+// pos, or nil.
+func EnclosingFunc(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Pos() <= pos && pos <= fn.End() {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. "time".Now), resolving through the type checker so
+// aliased imports are still caught.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,123 @@
+// Package analysistest runs a supremmlint analyzer over a testdata
+// package and checks its diagnostics against the `// want` comment
+// expectations embedded in the sources, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	rand.Intn(6) // want `seeded \*rand\.Rand`
+//
+// Each `// want` comment carries one or more backquoted or quoted
+// regular expressions; every diagnostic reported on that line must be
+// matched by one of them, and every expectation must be consumed.
+package analysistest
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"supremm/internal/analysis"
+	"supremm/internal/analysis/loadpkg"
+)
+
+// Run loads testdata/src/<pkg> relative to the calling test's directory
+// and applies the analyzer, failing the test on any mismatch between
+// reported diagnostics and want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := loadpkg.New(root)
+	p, err := l.CheckDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      l.Fset,
+		Files:     p.Files,
+		Pkg:       p.Types,
+		TypesInfo: p.Info,
+		PkgPath:   p.PkgPath,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, l.Fset, dir)
+	for _, d := range pass.Diagnostics() {
+		key := lineKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				wants[key][i].used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", key.file, key.line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantPattern pulls the quoted or backquoted expectations out of a
+// want comment.
+var wantPattern = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, dir string) map[lineKey][]want {
+	t.Helper()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[lineKey][]want)
+	for _, pkg := range pkgs {
+		for filename, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					key := lineKey{file: filepath.Base(filename), line: fset.Position(c.Pos()).Line}
+					for _, m := range wantPattern.FindAllStringSubmatch(text[len("want "):], -1) {
+						expr := m[1]
+						if expr == "" {
+							expr = m[2]
+						}
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", key.file, key.line, expr, err)
+						}
+						wants[key] = append(wants[key], want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,68 @@
+// Package counterdelta flags raw subtraction of uint64 counter values.
+//
+// TACC_Stats event counters are monotonic but wrap at the 64-bit
+// register width and are reprogrammed (reset to zero) at job
+// boundaries, so `cur - prev` on raw counters silently produces a
+// near-2^64 garbage delta whenever a wrap or reset lands inside an
+// interval. All counter differencing must go through a reviewed
+// wraparound-safe helper; such helpers are blessed by putting the
+// `supremmlint:wrapsafe` directive in their doc comment.
+//
+// Subtractions with a constant operand (digit arithmetic, bounds
+// checks like `v > maxU-d`) are not counter deltas and are ignored.
+package counterdelta
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"supremm/internal/analysis"
+)
+
+// Directive marks a function whose body is allowed to subtract raw
+// counter values because its wraparound handling has been reviewed.
+const Directive = "supremmlint:wrapsafe"
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "counterdelta",
+	Doc:  "flags raw a-b on uint64 counter values outside wraparound-safe helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if analysis.FuncHasDirective(n, Directive) {
+					return false // reviewed helper: skip its whole body
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.SUB && isRawCounterOperand(pass, n.X) && isRawCounterOperand(pass, n.Y) {
+					pass.Reportf(n.OpPos, "raw subtraction of uint64 counter values wraps at 64 bits; use a wraparound-safe helper (see ingest.eventDelta) or bless the function with //%s", Directive)
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.SUB_ASSIGN && len(n.Lhs) == 1 && len(n.Rhs) == 1 &&
+					isRawCounterOperand(pass, n.Lhs[0]) && isRawCounterOperand(pass, n.Rhs[0]) {
+					pass.Reportf(n.TokPos, "raw -= on uint64 counter values wraps at 64 bits; use a wraparound-safe helper (see ingest.eventDelta) or bless the function with //%s", Directive)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRawCounterOperand reports whether e is a non-constant expression
+// whose type is (or is defined on) uint64 — the representation every
+// raw counter in the pipeline uses.
+func isRawCounterOperand(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil { // untyped or constant-folded: not a counter read
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}

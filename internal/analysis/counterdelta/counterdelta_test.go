@@ -1,0 +1,12 @@
+package counterdelta_test
+
+import (
+	"testing"
+
+	"supremm/internal/analysis/analysistest"
+	"supremm/internal/analysis/counterdelta"
+)
+
+func TestCounterDelta(t *testing.T) {
+	analysistest.Run(t, counterdelta.Analyzer, "counterdelta")
+}

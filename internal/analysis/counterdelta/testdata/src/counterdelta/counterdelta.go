@@ -1,0 +1,51 @@
+package counterdelta
+
+// eventDelta is the blessed wraparound-safe helper shape.
+//
+//supremmlint:wrapsafe — reset/wrap semantics reviewed.
+func eventDelta(prev, cur uint64) float64 {
+	if cur >= prev {
+		return float64(cur - prev)
+	}
+	return float64(cur)
+}
+
+func rawDelta(prev, cur uint64) float64 {
+	return float64(cur - prev) // want `raw subtraction of uint64 counter values`
+}
+
+func rawSubAssign(prev uint64) uint64 {
+	acc := ^uint64(0)
+	acc -= prev // want `raw -= on uint64 counter values`
+	return acc
+}
+
+type counter uint64
+
+func namedCounter(a, b counter) counter {
+	return a - b // want `raw subtraction of uint64 counter values`
+}
+
+func constantOperands(v uint64) uint64 {
+	const maxU = ^uint64(0)
+	if v > maxU-10 { // constant operand: digit/bounds arithmetic, not a counter delta
+		return 0
+	}
+	return v - 1
+}
+
+func signedMath(a, b int64) int64 {
+	return a - b // int64 timestamps are not wrap-prone counters
+}
+
+func escapeHatch(prev, cur uint64) uint64 {
+	return cur - prev //supremmlint:allow counterdelta: exercising the escape hatch
+}
+
+var _ = eventDelta
+var _ = rawDelta
+var _ = rawSubAssign
+var _ = namedCounter
+var _ = constantOperands
+var _ = signedMath
+var _ = escapeHatch

@@ -1,0 +1,158 @@
+// Package errsink flags silently dropped errors from writer-shaped
+// calls in the packages that emit artifacts (reports, figures,
+// warehouse files).
+//
+// A figure renderer that ignores fmt.Fprintf's error, or a warehouse
+// emitter that ignores Close, produces truncated output on a full disk
+// with a zero exit status — the "fails quietly" failure mode
+// facility-monitoring pipelines are most criticized for. This analyzer
+// flags expression statements that discard the error result of:
+//
+//   - Write/WriteString/WriteByte/WriteRune/Flush/Close/Sync methods
+//   - fmt.Fprint/Fprintf/Fprintln to anything except os.Stdout/Stderr
+//   - io.WriteString and io.Copy
+//
+// Calls on *strings.Builder and *bytes.Buffer are exempt (their writers
+// are documented to never return an error), as are deferred calls (the
+// best-effort cleanup idiom on early-return paths; the success path
+// must still check Close explicitly). Acknowledged drops are written
+// `_ = w.Close()` or carry a //supremmlint:allow errsink comment.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+
+	"supremm/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "flags dropped errors from writer/Close calls in artifact-emitting packages",
+	Run:  run,
+}
+
+// sinkMethods are method names whose trailing error result must not be
+// silently discarded.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Flush": true, "Close": true, "Sync": true,
+}
+
+// sinkFuncs are package-level functions whose trailing error result
+// must not be silently discarded; fmt writers get special stdout/stderr
+// handling below.
+var sinkFuncs = map[string][]string{
+	"fmt": {"Fprint", "Fprintf", "Fprintln"},
+	"io":  {"WriteString", "Copy"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := droppedSink(pass, call); ok {
+				pass.Reportf(call.Pos(), "error from %s dropped; check it, or acknowledge with `_ =` if truly best-effort", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// droppedSink reports whether call is a writer-shaped call whose final
+// error result the enclosing expression statement discards, returning a
+// human-readable name for it.
+func droppedSink(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		// Package-level function.
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return "", false
+		}
+		for _, name := range sinkFuncs[pkg.Path()] {
+			if fn.Name() == name {
+				if len(call.Args) > 0 {
+					if pkg.Path() == "fmt" && isStdStream(pass, call.Args[0]) {
+						return "", false // console chatter: conventionally unchecked
+					}
+					// fmt.Fprintf/io.WriteString/io.Copy take the writer
+					// first; writing to strings.Builder/bytes.Buffer
+					// cannot fail.
+					if t := pass.TypesInfo.TypeOf(call.Args[0]); t != nil && isInfallibleWriter(t) {
+						return "", false
+					}
+				}
+				return pkg.Name() + "." + fn.Name(), true
+			}
+		}
+		return "", false
+	}
+	// Method call.
+	if !sinkMethods[fn.Name()] {
+		return "", false
+	}
+	recvType := pass.TypesInfo.TypeOf(sel.X)
+	if recvType == nil || isInfallibleWriter(recvType) {
+		return "", false
+	}
+	return types.TypeString(recvType, types.RelativeTo(pass.Pkg)) + "." + fn.Name(), true
+}
+
+// returnsError reports whether the signature's last result is error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type())
+}
+
+// isStdStream recognizes the literal os.Stdout / os.Stderr selectors.
+func isStdStream(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}
+
+// isInfallibleWriter reports whether t is strings.Builder or
+// bytes.Buffer (possibly behind a pointer), whose write methods are
+// documented to always return a nil error.
+func isInfallibleWriter(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}

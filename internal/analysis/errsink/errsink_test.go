@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"supremm/internal/analysis/analysistest"
+	"supremm/internal/analysis/errsink"
+)
+
+func TestErrSink(t *testing.T) {
+	analysistest.Run(t, errsink.Analyzer, "errsink")
+}

@@ -1,0 +1,40 @@
+package errsink
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func dropped(w io.Writer, f *os.File, bw *bufio.Writer) {
+	fmt.Fprintf(w, "x")    // want `error from fmt.Fprintf dropped`
+	fmt.Fprintln(w, "x")   // want `error from fmt.Fprintln dropped`
+	io.WriteString(w, "x") // want `error from io.WriteString dropped`
+	f.Close()              // want `error from \*os\.File\.Close dropped`
+	bw.Flush()             // want `error from \*bufio\.Writer\.Flush dropped`
+	w.Write(nil)           // want `error from io\.Writer\.Write dropped`
+}
+
+func handled(w io.Writer, f *os.File) error {
+	var sb strings.Builder
+	sb.WriteString("x")       // strings.Builder never errors
+	fmt.Fprintf(&sb, "%d", 1) // Fprintf to a Builder cannot fail
+	var buf bytes.Buffer
+	buf.WriteByte('x')           // bytes.Buffer never errors
+	fmt.Fprintln(&buf, "x")      // Fprintln to a Buffer cannot fail
+	fmt.Fprintln(os.Stderr, "x") // console chatter is conventionally unchecked
+	fmt.Fprintln(os.Stdout, "x")
+	defer f.Close() // deferred best-effort cleanup on early-return paths
+	_ = f.Sync()    // explicitly acknowledged drop
+	if _, err := fmt.Fprintf(w, "x"); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func hatch(f *os.File) {
+	f.Close() //supremmlint:allow errsink: read-side close, nothing to recover
+}

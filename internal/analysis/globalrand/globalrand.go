@@ -1,0 +1,69 @@
+// Package globalrand flags use of the global math/rand generator.
+//
+// Every stochastic component of the simulation (workload generation,
+// fault injection, user behavior) draws from a seeded *rand.Rand
+// threaded through its config, so a (config, seed) pair reproduces a
+// run exactly and parallel simulations do not share generator state.
+// The package-level math/rand functions draw from the process-global
+// source, which is seeded implicitly and shared across goroutines —
+// both properties break reproducibility.
+//
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) are allowed:
+// they are how the seeded generators are built.
+package globalrand
+
+import (
+	"go/ast"
+
+	"supremm/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "flags global math/rand functions where a seeded *rand.Rand is required",
+	Run:  run,
+}
+
+// allowed are the math/rand package-level names that do not touch the
+// global generator.
+var allowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors, should the tree migrate.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Method calls on a *rand.Rand value resolve to objects whose
+			// parent scope is not package scope; those are the seeded
+			// generators we want people to use.
+			if obj.Parent() != obj.Pkg().Scope() || allowed[obj.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "global rand.%s draws from the shared process-wide source; use a seeded *rand.Rand from the config", obj.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package globalrand
+
+import "math/rand"
+
+func globalDraws() {
+	_ = rand.Intn(6)                   // want `global rand.Intn draws from the shared process-wide source`
+	_ = rand.Float64()                 // want `global rand.Float64`
+	_ = rand.Int63()                   // want `global rand.Int63`
+	_ = rand.Perm(10)                  // want `global rand.Perm`
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand.Shuffle`
+}
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	if r.Intn(6) > 3 {
+		return r.Float64()
+	}
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	return float64(z.Uint64())
+}
+
+func hatch() int {
+	return rand.Int() //supremmlint:allow globalrand: exercising the escape hatch
+}

@@ -1,0 +1,140 @@
+// Package hotalloc flags allocation-heavy constructs in the pipeline's
+// declared hot paths (the taccstats stream/parse files and the ingest
+// plan/fold files).
+//
+// PR 1 got the streaming ingest to a fixed allocation budget per file;
+// this analyzer keeps it there. It flags:
+//
+//   - fmt.Sprintf — formats through reflection and always allocates
+//   - strings.Fields / strings.Split / strings.SplitN — allocate a
+//     slice plus headers per call; hot-path tokenizing must walk bytes
+//   - string([]byte) conversions — copy the bytes, except in the three
+//     forms the compiler optimizes to be allocation-free: indexing a
+//     map, comparing against a constant string, and switching on the
+//     conversion
+//
+// A justified allocation (e.g. interning a device name once per file)
+// carries a `//supremmlint:allow hotalloc: <reason>` comment.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"supremm/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocating constructs (fmt.Sprintf, strings.Fields/Split, string([]byte)) in hot-path files",
+	Run:  run,
+}
+
+// bannedCalls maps package path to the function names that allocate
+// per call.
+var bannedCalls = map[string][]string{
+	"fmt":     {"Sprintf", "Sprint", "Sprintln"},
+	"strings": {"Fields", "FieldsFunc", "Split", "SplitN", "SplitAfter"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		walkWithParent(f, func(n ast.Node, parent ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			for pkg, names := range bannedCalls {
+				for _, name := range names {
+					if analysis.IsPkgFunc(pass.TypesInfo, call, pkg, name) {
+						pass.Reportf(call.Pos(), "%s.%s allocates on every call in a hot-path file; tokenize/format over bytes instead (//supremmlint:allow hotalloc to override)", pkg, name)
+						return
+					}
+				}
+			}
+			if isByteStringConversion(pass, call) && !isOptimizedConversion(pass, call, parent) {
+				pass.Reportf(call.Pos(), "string([]byte) copies in a hot-path file; keep byte slices or intern once (//supremmlint:allow hotalloc to override)")
+			}
+		})
+	}
+	return nil
+}
+
+// isByteStringConversion reports whether call is a string(b) conversion
+// from a byte slice.
+func isByteStringConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	funTV, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !funTV.IsType() {
+		return false
+	}
+	dst, ok := funTV.Type.Underlying().(*types.Basic)
+	if !ok || dst.Kind() != types.String {
+		return false
+	}
+	argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	slice, ok := argTV.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem, ok := slice.Elem().Underlying().(*types.Basic)
+	return ok && elem.Kind() == types.Uint8
+}
+
+// isOptimizedConversion recognizes the parent forms the compiler
+// compiles without allocating the intermediate string.
+func isOptimizedConversion(pass *analysis.Pass, call *ast.CallExpr, parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.IndexExpr:
+		// m[string(b)] — allocation-free when m is a map.
+		if p.Index != call {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[p.X]
+		if !ok {
+			return false
+		}
+		_, isMap := tv.Type.Underlying().(*types.Map)
+		return isMap
+	case *ast.BinaryExpr:
+		// string(b) == "lit" (either side, == or !=).
+		if p.Op != token.EQL && p.Op != token.NEQ {
+			return false
+		}
+		other := p.X
+		if other == call {
+			other = p.Y
+		}
+		tv, ok := pass.TypesInfo.Types[other]
+		return ok && tv.Value != nil
+	case *ast.SwitchStmt:
+		// switch string(b) { case "lit": ... }
+		return p.Tag == call
+	}
+	return false
+}
+
+// walkWithParent traverses f invoking fn with each node and its parent.
+func walkWithParent(f *ast.File, fn func(n, parent ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		var parent ast.Node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		fn(n, parent)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,44 @@
+package hotalloc
+
+import (
+	"fmt"
+	"strings"
+)
+
+func allocating(b []byte, name string) {
+	_ = fmt.Sprintf("%s-%d", name, 1) // want `fmt.Sprintf allocates on every call`
+	_ = strings.Fields(name)          // want `strings.Fields allocates on every call`
+	_ = strings.Split(name, ",")      // want `strings.Split allocates on every call`
+	_ = strings.SplitN(name, ",", 2)  // want `strings.SplitN allocates on every call`
+	s := string(b)                    // want `string\(\[\]byte\) copies in a hot-path file`
+	_ = s
+}
+
+func compilerOptimized(b []byte, m map[string]int) int {
+	if string(b) == "begin" { // comparison against a constant: allocation-free
+		return 1
+	}
+	if "end" != string(b) { // either side
+		return 2
+	}
+	switch string(b) { // switch tag: allocation-free
+	case "rotate":
+		return 3
+	}
+	return m[string(b)] // map index: allocation-free
+}
+
+func notOptimized(b []byte, xs []string, other string) {
+	_ = xs[len(string(b))]  // want `string\(\[\]byte\) copies` (slice index, not map)
+	if string(b) == other { // want `string\(\[\]byte\) copies` (non-constant comparison)
+		return
+	}
+}
+
+func interned(b []byte) string {
+	return string(b) //supremmlint:allow hotalloc: interned once per file
+}
+
+func runeConversion(rs []rune) string {
+	return string(rs) // []rune conversions are outside this analyzer's scope
+}

@@ -1,0 +1,254 @@
+// Package loadpkg type-checks Go packages for supremmlint without any
+// dependency beyond the standard library and the go tool itself. The
+// canonical loader (golang.org/x/tools/go/packages) is unavailable in
+// the build container, and compiled export data for the standard
+// library no longer ships with the toolchain, so this loader rebuilds
+// the type information from source: `go list -deps -json` supplies the
+// file sets and the dependency-ordered package closure, and go/types
+// checks each package against the packages checked before it.
+package loadpkg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader accumulates type-checked packages across Load calls; standard
+// library packages are checked once and shared.
+type Loader struct {
+	dir   string // module root the go tool runs in
+	Fset  *token.FileSet
+	typed map[string]*types.Package
+}
+
+// New returns a Loader rooted at the module directory.
+func New(dir string) *Loader {
+	return &Loader{dir: dir, Fset: token.NewFileSet(), typed: make(map[string]*types.Package)}
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go tool and type-checks the full
+// dependency closure, returning the directly matched (non-dependency,
+// non-standard) packages in listing order. Test files are not loaded:
+// supremmlint's invariants govern production code.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	pkgs, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range pkgs {
+		p, err := l.check(lp, !lp.Standard)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.DepOnly && !lp.Standard && p != nil {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// goList runs `go list -deps -json`, returning the closure in
+// dependency order (each package after everything it imports).
+func (l *Loader) goList(patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Standard,DepOnly,GoFiles,Imports,ImportMap,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	// cgo-free file sets: the type checker reads pure Go sources only.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(stdout)
+	var pkgs []*listPkg
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loadpkg: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("loadpkg: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	for _, lp := range pkgs {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loadpkg: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+	}
+	return pkgs, nil
+}
+
+// check type-checks one listed package (dependencies must already be in
+// l.typed). withInfo controls whether full expression type information
+// is retained; it is needed only for analyzed packages, not their deps.
+func (l *Loader) check(lp *listPkg, withInfo bool) (*Package, error) {
+	if lp.ImportPath == "unsafe" {
+		l.typed["unsafe"] = types.Unsafe
+		return nil, nil
+	}
+	if _, done := l.typed[lp.ImportPath]; done && !withInfo {
+		return nil, nil
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loadpkg: %s: %w", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{
+		Importer:    &mapImporter{loader: l, importMap: lp.ImportMap},
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+	}
+	tpkg, err := cfg.Check(lp.ImportPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loadpkg: type-checking %s: %w", lp.ImportPath, err)
+	}
+	l.typed[lp.ImportPath] = tpkg
+	return &Package{PkgPath: lp.ImportPath, Dir: lp.Dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// CheckDir parses and type-checks the .go files of a single directory
+// as one package under the given import path, loading any standard
+// library imports on demand. It exists for analysistest: testdata
+// packages live outside the module's package graph (go tooling ignores
+// testdata directories) and may import only the standard library.
+func (l *Loader) CheckDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("loadpkg: no .go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(goFiles))
+	imports := make(map[string]bool)
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[path] = true
+		}
+	}
+	var missing []string
+	for path := range imports {
+		if _, ok := l.typed[path]; !ok && path != "unsafe" {
+			missing = append(missing, path)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pkgs, err := l.goList(missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range pkgs {
+			if _, err := l.check(lp, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	lp := &listPkg{ImportPath: importPath, Dir: dir, GoFiles: goFiles}
+	// Re-check through the shared path so the package gets full Info.
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{
+		Importer:    &mapImporter{loader: l},
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+	}
+	tpkg, err := cfg.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loadpkg: type-checking %s: %w", importPath, err)
+	}
+	return &Package{PkgPath: importPath, Dir: lp.Dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// mapImporter resolves imports against the loader's already-checked
+// packages, applying the importing package's vendor map first.
+type mapImporter struct {
+	loader    *Loader
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.loader.typed[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("loadpkg: import %q not loaded", path)
+}

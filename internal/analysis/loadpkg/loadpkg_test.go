@@ -1,0 +1,90 @@
+package loadpkg
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestLoadModulePackage type-checks a real module package through the
+// full std closure from source.
+func TestLoadModulePackage(t *testing.T) {
+	l := New(moduleRoot(t))
+	pkgs, err := l.Load("./internal/procfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "supremm/internal/procfs" {
+		t.Fatalf("PkgPath = %q", p.PkgPath)
+	}
+	if p.Types.Scope().Lookup("Snapshot") == nil {
+		t.Fatal("procfs.Snapshot not in package scope")
+	}
+	if len(p.Info.Uses) == 0 {
+		t.Fatal("no use information recorded")
+	}
+}
+
+// TestLoadReusesStd verifies the second Load call reuses the shared std
+// packages instead of re-checking them.
+func TestLoadReusesStd(t *testing.T) {
+	l := New(moduleRoot(t))
+	if _, err := l.Load("./internal/procfs"); err != nil {
+		t.Fatal(err)
+	}
+	fmtPkg := l.typed["fmt"]
+	if fmtPkg == nil {
+		t.Fatal("fmt not loaded")
+	}
+	if _, err := l.Load("./internal/stats"); err != nil {
+		t.Fatal(err)
+	}
+	if l.typed["fmt"] != fmtPkg {
+		t.Fatal("fmt re-checked on second Load")
+	}
+}
+
+// TestCheckDir type-checks a loose directory the way analysistest does.
+func TestCheckDir(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "a.go"), `package a
+
+import "fmt"
+
+func Hello() string { return fmt.Sprintf("%d", 42) }
+`)
+	l := New(moduleRoot(t))
+	p, err := l.CheckDir(dir, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := p.Types.Scope().Lookup("Hello")
+	if obj == nil {
+		t.Fatal("Hello not found")
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		t.Fatalf("Hello has unexpected type %v", obj.Type())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

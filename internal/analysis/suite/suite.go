@@ -1,0 +1,86 @@
+// Package suite binds the supremmlint analyzers to the parts of the
+// tree whose invariants they enforce. The analyzers themselves are
+// scope-free (so analysistest can exercise them on testdata packages);
+// this registry is the single place that says where each invariant
+// holds, and DESIGN.md's "Static analysis" section documents why.
+package suite
+
+import (
+	"strings"
+
+	"supremm/internal/analysis"
+	"supremm/internal/analysis/counterdelta"
+	"supremm/internal/analysis/errsink"
+	"supremm/internal/analysis/globalrand"
+	"supremm/internal/analysis/hotalloc"
+	"supremm/internal/analysis/walltime"
+)
+
+// Scoped is an analyzer plus the package/file scope it applies to.
+type Scoped struct {
+	*analysis.Analyzer
+	// PkgMatch gates whole packages by import path.
+	PkgMatch func(pkgPath string) bool
+	// FileMatch, when non-nil, further gates individual files by base
+	// name within a matched package.
+	FileMatch func(base string) bool
+}
+
+// Analyzers returns the full supremmlint suite with its scopes.
+func Analyzers() []Scoped {
+	return []Scoped{
+		{
+			// Raw counters flow from procfs through taccstats into ingest;
+			// everywhere else they are already reduced to float deltas.
+			Analyzer: counterdelta.Analyzer,
+			PkgMatch: pkgIn("supremm/internal/procfs", "supremm/internal/taccstats", "supremm/internal/ingest"),
+		},
+		{
+			// The deterministic core: same (config, seed) in, bit-identical
+			// artifacts out.
+			Analyzer: walltime.Analyzer,
+			PkgMatch: pkgIn("supremm/internal/sim", "supremm/internal/workload", "supremm/internal/ingest"),
+		},
+		{
+			// Reproducibility is a whole-tree property: any package drawing
+			// from the process-global generator can perturb a simulation.
+			Analyzer: globalrand.Analyzer,
+			PkgMatch: pkgUnder("supremm"),
+		},
+		{
+			// The declared hot paths: the streaming parser and the
+			// schema-compiled interval reduction (PR 1's alloc budget).
+			Analyzer: hotalloc.Analyzer,
+			PkgMatch: pkgIn("supremm/internal/taccstats", "supremm/internal/ingest"),
+			FileMatch: func(base string) bool {
+				switch base {
+				case "stream.go", "format.go", "plan.go", "raw.go", "accumulator.go":
+					return true
+				}
+				return false
+			},
+		},
+		{
+			// The artifact emitters: report renderers and the cmd tools
+			// that write figures and warehouse files.
+			Analyzer: errsink.Analyzer,
+			PkgMatch: func(pkgPath string) bool {
+				return pkgPath == "supremm/internal/report" || strings.HasPrefix(pkgPath, "supremm/cmd/")
+			},
+		},
+	}
+}
+
+func pkgIn(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(pkgPath string) bool { return set[pkgPath] }
+}
+
+func pkgUnder(prefix string) func(string) bool {
+	return func(pkgPath string) bool {
+		return pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")
+	}
+}

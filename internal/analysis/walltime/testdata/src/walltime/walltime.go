@@ -1,0 +1,22 @@
+package walltime
+
+import "time"
+
+func clockReads() {
+	_ = time.Now()                  // want `time.Now reads the wall clock`
+	time.Sleep(time.Second)         // want `time.Sleep reads the wall clock`
+	_ = time.Since(time.Unix(0, 0)) // want `time.Since reads the wall clock`
+	_ = time.After(time.Second)     // want `time.After reads the wall clock`
+	_ = time.NewTicker(time.Second) // want `time.NewTicker reads the wall clock`
+}
+
+func clockFree() time.Time {
+	d, _ := time.ParseDuration("10m")
+	_ = d * 2
+	_ = time.Duration(600) * time.Second
+	return time.Unix(1307000600, 0)
+}
+
+func banner() time.Time {
+	return time.Now() //supremmlint:allow walltime: wall time for a log banner is fine
+}

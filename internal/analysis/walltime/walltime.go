@@ -1,0 +1,51 @@
+// Package walltime flags wall-clock reads inside the deterministic
+// packages (simulation, workload generation, ingest).
+//
+// The pipeline's reproducibility contract is that a (config, seed) pair
+// always produces bit-identical raw files, accounting logs and job
+// summaries; the equivalence and property tests depend on it, and so
+// does the paper-figure regression baseline. A single time.Now() — or a
+// timer that schedules off the host clock — breaks that silently, so
+// simulated time must always flow from the simulation clock carried in
+// configs and records.
+package walltime
+
+import (
+	"go/ast"
+
+	"supremm/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "flags time.Now and other wall-clock/timer use in deterministic packages",
+	Run:  run,
+}
+
+// banned lists the time package entry points that read or schedule off
+// the host clock. Pure constructors (time.Unix, time.Date) and
+// formatting are fine: they are clock-free.
+var banned = []string{
+	"Now", "Since", "Until", "Sleep", "After", "AfterFunc",
+	"Tick", "NewTimer", "NewTicker",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range banned {
+				if analysis.IsPkgFunc(pass.TypesInfo, call, "time", name) {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock in a deterministic package; derive time from the simulation clock instead", name)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

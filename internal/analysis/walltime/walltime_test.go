@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"supremm/internal/analysis/analysistest"
+	"supremm/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, walltime.Analyzer, "walltime")
+}

@@ -16,15 +16,15 @@ import (
 // cur columns are resolved separately because an interval can span a
 // file boundary where the layouts differ.
 type metricPlan struct {
-	prevLayout, curLayout   *taccstats.Layout
-	prevVer, curVer         int
-	user, nice, system      []colPair
-	irq, softirq            []colPair
-	idle, iowait            []colPair
-	flopsAMD, flopsIntel    []colPair
-	ibTx, ibRx, lnetTx      []colPair
-	memUsed                 []int
-	llite                   []llitePlan
+	prevLayout, curLayout *taccstats.Layout
+	prevVer, curVer       int
+	user, nice, system    []colPair
+	irq, softirq          []colPair
+	idle, iowait          []colPair
+	flopsAMD, flopsIntel  []colPair
+	ibTx, ibRx, lnetTx    []colPair
+	memUsed               []int
+	llite                 []llitePlan
 }
 
 // colPair addresses one event counter in the cur and prev flat arrays;

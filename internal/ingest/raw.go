@@ -124,7 +124,10 @@ func findJob(windows []jobWindow, t int64) int64 {
 
 // eventDelta computes a counter delta with reset semantics: counters
 // that moved backwards were reprogrammed (zeroed) at a job boundary, so
-// the new value is the delta since the reset.
+// the new value is the delta since the reset. This is the one blessed
+// place raw counters are differenced; everything else must call it.
+//
+//supremmlint:wrapsafe — backwards movement is a reset, handled above.
 func eventDelta(prev, cur uint64) float64 {
 	if cur >= prev {
 		return float64(cur - prev)

@@ -274,6 +274,79 @@ func TestIngestRawPMCResetHandling(t *testing.T) {
 	}
 }
 
+func TestIngestRawCounterWraparound(t *testing.T) {
+	// A long-lived 64-bit event counter (here IB tx_bytes) wraps past
+	// 2^64 mid-job. The raw file then carries a sample whose value is
+	// numerically below its predecessor; eventDelta must fold it with
+	// its reset semantics (the post-wrap value is the delta) instead of
+	// producing an astronomical ~1.8e19-byte interval.
+	dir := t.TempDir()
+	host := "c000-000.ranger"
+	hostDir := filepath.Join(dir, host)
+	if err := os.MkdirAll(hostDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cc := cluster.RangerConfig()
+	snap := procfs.NewNodeSnapshot(cc, host)
+	snap.Time = 1000
+	// Park the counter 600 MB below the wrap point, as a node up for
+	// months would be.
+	snap.Add(procfs.TypeIB, "mlx4_0.1", "tx_bytes", ^uint64(0)-600e6+1)
+	f, err := os.Create(filepath.Join(hostDir, "0.raw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := taccstats.NewWriter(f)
+	if err := w.WriteHeader(snap, "amd64_opteron"); err != nil {
+		t.Fatal(err)
+	}
+	write := func(mark string) {
+		if err := w.WriteRecord(snap, mark); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("begin 7")
+	for i := 0; i < 3; i++ {
+		snap.Time += 600
+		addCPU(snap, 60000)
+		// Interval 1 crosses 2^64: the stored value wraps to exactly
+		// 600e6. Intervals 2 and 3 advance normally by 1200e6.
+		snap.Add(procfs.TypeIB, "mlx4_0.1", "tx_bytes", 1200e6)
+		if i == 2 {
+			write("end 7")
+		} else {
+			write("")
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := IngestRaw(dir, acctForHost(host))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Store.Len() != 1 {
+		t.Fatalf("records = %d", res.Store.Len())
+	}
+	rec := res.Store.Record(0)
+	if rec.Samples != 3 {
+		t.Fatalf("samples = %d, want 3", rec.Samples)
+	}
+	// Reset semantics on the wrapped interval yield 600e6 bytes (the
+	// post-wrap value); the other two intervals are plain 1200e6 deltas.
+	// Time-weighted tx rate: (600e6+1200e6+1200e6)/1800 s = 5/3 MB/s.
+	want := (600e6 + 1200e6 + 1200e6) / 1800.0 / 1e6
+	if rec.IBTxMB < want-0.01 || rec.IBTxMB > want+0.01 {
+		t.Errorf("ib tx = %v MB/s, want %.3f (wraparound mishandled)", rec.IBTxMB, want)
+	}
+	for _, s := range res.Series {
+		if s.IBTxMBps < 0 || s.IBTxMBps > 2.01 {
+			t.Errorf("series ib tx = %v MB/s, wraparound leaked into the system series", s.IBTxMBps)
+		}
+	}
+}
+
 func addCPU(snap *procfs.Snapshot, cs uint64) {
 	for c := 0; c < 16; c++ {
 		dev := snap.Type(procfs.TypeCPU).Devices()[c]

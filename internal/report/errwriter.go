@@ -1,0 +1,35 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// errWriter latches the first error from a sequence of formatted
+// writes, so line-oriented renderers can emit unconditionally and
+// report one error at the end instead of checking every Fprintf. After
+// a write fails, subsequent writes are no-ops: the renderer stops
+// touching a broken sink (full disk, closed pipe) but produces no
+// partial-success lie — err carries the failure to the caller.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func newErrWriter(w io.Writer) *errWriter { return &errWriter{w: w} }
+
+// printf formats to the underlying writer unless a write already
+// failed.
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err == nil {
+		_, ew.err = fmt.Fprintf(ew.w, format, args...)
+	}
+}
+
+// println writes its operands like fmt.Println unless a write already
+// failed.
+func (ew *errWriter) println(args ...any) {
+	if ew.err == nil {
+		_, ew.err = fmt.Fprintln(ew.w, args...)
+	}
+}

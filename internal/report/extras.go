@@ -29,10 +29,14 @@ func Trends(w io.Writer, cluster string, trends []core.Trend) error {
 
 // Characterization renders the workload-characterization report.
 func Characterization(w io.Writer, cluster string, c core.Characterization) error {
-	fmt.Fprintf(w, "== workload characterization, %s ==\n", cluster)
-	fmt.Fprintf(w, "jobs analyzed: %d   node-hours: %.0f\n", c.Jobs, c.TotalNodeHours)
-	fmt.Fprintf(w, "runtime: median %.0f min, mean %.0f, node-hour-weighted mean %.0f (the paper's 549/446-min statistic)\n",
+	ew := newErrWriter(w)
+	ew.printf("== workload characterization, %s ==\n", cluster)
+	ew.printf("jobs analyzed: %d   node-hours: %.0f\n", c.Jobs, c.TotalNodeHours)
+	ew.printf("runtime: median %.0f min, mean %.0f, node-hour-weighted mean %.0f (the paper's 549/446-min statistic)\n",
 		c.Runtime.Median, c.Runtime.Mean, c.WeightedMeanRuntimeMin)
+	if ew.err != nil {
+		return ew.err
+	}
 
 	t := NewTable("job-size mix", "size", "jobs", "node-hours", "share")
 	for _, b := range c.SizeBuckets {
@@ -63,7 +67,9 @@ func Characterization(w io.Writer, cluster string, c core.Characterization) erro
 
 // WaitReport renders queue-wait statistics.
 func WaitReport(w io.Writer, cluster string, ws sched.WaitStats) error {
-	fmt.Fprintf(w, "== queue waits, %s (%d jobs) ==\n", cluster, ws.Jobs)
+	if _, err := fmt.Fprintf(w, "== queue waits, %s (%d jobs) ==\n", cluster, ws.Jobs); err != nil {
+		return err
+	}
 	t := NewTable("", "population", "mean wait (min)")
 	t.AddRow("all", fmt.Sprintf("%.1f", ws.MeanWaitMin))
 	t.AddRow("median", fmt.Sprintf("%.1f", ws.MedianWaitMin))
@@ -93,7 +99,9 @@ func KernelAudit(w io.Writer, verdicts []appkernels.Verdict) error {
 // ForecastReport renders forecaster skill at the Table 1 offsets plus
 // the current scheduling hints.
 func ForecastReport(w io.Writer, r *core.Realm) error {
-	fmt.Fprintf(w, "== persistence forecasts, %s ==\n", r.Cluster)
+	if _, err := fmt.Fprintf(w, "== persistence forecasts, %s ==\n", r.Cluster); err != nil {
+		return err
+	}
 	t := NewTable("forecast skill vs climatology (cpu_flops)",
 		"offset (min)", "MAE", "naive MAE", "skill")
 	f, err := r.NewForecaster("cpu_flops", 10)
@@ -132,13 +140,14 @@ func ForecastReport(w io.Writer, r *core.Realm) error {
 
 // Diagnoses renders ANCOR linkage results.
 func Diagnoses(w io.Writer, cluster string, diags []anomaly.Diagnosis, limit int) error {
-	fmt.Fprintf(w, "== ANCOR diagnoses, %s (%d anomalous jobs) ==\n", cluster, len(diags))
+	ew := newErrWriter(w)
+	ew.printf("== ANCOR diagnoses, %s (%d anomalous jobs) ==\n", cluster, len(diags))
 	for i, d := range diags {
 		if limit > 0 && i >= limit {
-			fmt.Fprintf(w, "  ... %d more\n", len(diags)-limit)
+			ew.printf("  ... %d more\n", len(diags)-limit)
 			break
 		}
-		fmt.Fprintln(w, " ", d.String())
+		ew.println(" ", d.String())
 	}
-	return nil
+	return ew.err
 }

@@ -12,7 +12,9 @@ import (
 // Fig2 renders the Fig 2 reproduction: normalized usage profiles of the
 // n heaviest users.
 func Fig2(w io.Writer, r *core.Realm, n int) error {
-	fmt.Fprintf(w, "== Figure 2: usage profiles of the %d heaviest %s users (fleet mean = 1.0) ==\n", n, r.Cluster)
+	if _, err := fmt.Fprintf(w, "== Figure 2: usage profiles of the %d heaviest %s users (fleet mean = 1.0) ==\n", n, r.Cluster); err != nil {
+		return err
+	}
 	for _, p := range r.TopUserProfiles(n) {
 		if err := Radar(w, p); err != nil {
 			return err
@@ -23,7 +25,9 @@ func Fig2(w io.Writer, r *core.Realm, n int) error {
 
 // Fig3 renders the Fig 3 reproduction: MD application profiles.
 func Fig3(w io.Writer, realms []*core.Realm, apps []string) error {
-	fmt.Fprintln(w, "== Figure 3: resource profiles of the MD codes across clusters ==")
+	if _, err := fmt.Fprintln(w, "== Figure 3: resource profiles of the MD codes across clusters =="); err != nil {
+		return err
+	}
 	for _, r := range realms {
 		for _, p := range r.AppProfiles(apps) {
 			if err := Radar(w, p); err != nil {
@@ -54,8 +58,10 @@ func Fig4(w io.Writer, r *core.Realm) error {
 		}
 	}
 	eff := r.FleetEfficiency()
-	fmt.Fprintf(w, "== Figure 4: %s node-hours vs wasted node-hours (fleet efficiency %.0f%%) ==\n",
-		r.Cluster, eff*100)
+	if _, err := fmt.Fprintf(w, "== Figure 4: %s node-hours vs wasted node-hours (fleet efficiency %.0f%%) ==\n",
+		r.Cluster, eff*100); err != nil {
+		return err
+	}
 	sc := &Scatter{
 		Title:  fmt.Sprintf("each '+' is a user; 'O' marks the most idle heavy user; '-' is the %.0f%% efficiency line", eff*100),
 		XLabel: "node-hours (log)", YLabel: "wasted node-hours (log)",
@@ -94,8 +100,10 @@ func Fig5(w io.Writer, r *core.Realm) error {
 	if len(worst) == 0 {
 		return fmt.Errorf("report: no worst user for Fig 5")
 	}
-	fmt.Fprintf(w, "== Figure 5: profile of the circled user (%s, %.0f%% idle) ==\n",
-		worst[0].User, worst[0].IdleFrac*100)
+	if _, err := fmt.Fprintf(w, "== Figure 5: profile of the circled user (%s, %.0f%% idle) ==\n",
+		worst[0].User, worst[0].IdleFrac*100); err != nil {
+		return err
+	}
 	return Radar(w, r.UserProfile(worst[0].User))
 }
 
@@ -124,18 +132,21 @@ func Table1(w io.Writer, tab *core.PersistenceTable) error {
 // persistence fit with the significance statistics the paper quotes.
 func Fig6(w io.Writer, cluster string, tab *core.PersistenceTable) error {
 	f := tab.Combined
-	fmt.Fprintf(w, "== Figure 6: combined persistence fit, %s ==\n", cluster)
-	fmt.Fprintf(w, "  ratio = %.3f + %.3f*ln(offset_min)\n", f.Intercept, f.Slope)
-	fmt.Fprintf(w, "  intercept %.2f(%.0f) p=%.2g   slope %.2f(%.0f) p=%.2g   R^2=%.2f\n",
+	ew := newErrWriter(w)
+	ew.printf("== Figure 6: combined persistence fit, %s ==\n", cluster)
+	ew.printf("  ratio = %.3f + %.3f*ln(offset_min)\n", f.Intercept, f.Slope)
+	ew.printf("  intercept %.2f(%.0f) p=%.2g   slope %.2f(%.0f) p=%.2g   R^2=%.2f\n",
 		f.Intercept, f.InterceptSE*100, f.InterceptP,
 		f.Slope, f.SlopeSE*100, f.SlopeP, f.R2)
-	fmt.Fprintf(w, "  prediction horizon (ratio=0.9): %.0f min\n", tab.PredictionHorizonMin(0.9))
-	return nil
+	ew.printf("  prediction horizon (ratio=0.9): %.0f min\n", tab.PredictionHorizonMin(0.9))
+	return ew.err
 }
 
 // Fig7 renders the three Fig 7 sample reports.
 func Fig7(w io.Writer, r *core.Realm) error {
-	fmt.Fprintf(w, "== Figure 7: system reports, %s ==\n", r.Cluster)
+	if _, err := fmt.Fprintf(w, "== Figure 7: system reports, %s ==\n", r.Cluster); err != nil {
+		return err
+	}
 	a := NewTable("(a) average memory per core by parent science",
 		"science", "mem/core GB", "node-hours", "jobs")
 	for _, row := range r.MemoryByScience() {
@@ -166,26 +177,34 @@ func Fig7(w io.Writer, r *core.Realm) error {
 // Fig8 renders the active-nodes time series.
 func Fig8(w io.Writer, r *core.Realm) error {
 	a := r.ActiveNodesReport()
-	fmt.Fprintf(w, "== Figure 8: %s active nodes (mean %.1f, min %.0f, %d zero samples of %d) ==\n",
-		r.Cluster, a.MeanActive, a.MinActive, a.ZeroSamples, a.TotalSamples)
+	if _, err := fmt.Fprintf(w, "== Figure 8: %s active nodes (mean %.1f, min %.0f, %d zero samples of %d) ==\n",
+		r.Cluster, a.MeanActive, a.MinActive, a.ZeroSamples, a.TotalSamples); err != nil {
+		return err
+	}
 	return TimeSeries(w, "active nodes per day", r.SeriesDaily("active_nodes"), 10)
 }
 
 // Fig9 renders the cluster FLOPS time series with the peak comparison.
 func Fig9(w io.Writer, r *core.Realm) error {
 	f := r.FlopsReport()
-	fmt.Fprintf(w, "== Figure 9: %s delivered SSE FLOPS (mean %.2f TF, peak %.2f TF, machine peak %.0f TF) ==\n",
+	ew := newErrWriter(w)
+	ew.printf("== Figure 9: %s delivered SSE FLOPS (mean %.2f TF, peak %.2f TF, machine peak %.0f TF) ==\n",
 		r.Cluster, f.MeanTFlops, f.PeakTFlops, f.MachinePeakTF)
-	fmt.Fprintf(w, "  mean is %.1f%% of peak; max observed is %.1f%% of peak\n",
+	ew.printf("  mean is %.1f%% of peak; max observed is %.1f%% of peak\n",
 		f.MeanFraction*100, f.PeakFraction*100)
+	if ew.err != nil {
+		return ew.err
+	}
 	return TimeSeries(w, "cluster TFLOP/s per day", r.SeriesDaily("total_tflops"), 10)
 }
 
 // Fig10 renders the FLOPS kernel density.
 func Fig10(w io.Writer, r *core.Realm) error {
 	kde, curve := r.FlopsDistribution(128)
-	fmt.Fprintf(w, "== Figure 10: %s FLOPS distribution (kernel density, mode %.2f TF) ==\n",
-		r.Cluster, kde.Mode())
+	if _, err := fmt.Fprintf(w, "== Figure 10: %s FLOPS distribution (kernel density, mode %.2f TF) ==\n",
+		r.Cluster, kde.Mode()); err != nil {
+		return err
+	}
 	return Density(w, "cluster TFLOP/s density", "TFLOP/s",
 		map[string][]stats.CurvePoint{"flops": curve}, 64, 12)
 }
@@ -193,8 +212,10 @@ func Fig10(w io.Writer, r *core.Realm) error {
 // Fig11 renders the memory-per-node time series.
 func Fig11(w io.Writer, r *core.Realm) error {
 	m := r.MemoryReport()
-	fmt.Fprintf(w, "== Figure 11: %s memory per node (mean %.1f GB of %.0f GB, peak %.1f GB) ==\n",
-		r.Cluster, m.MeanGB, m.CapacityGB, m.PeakGB)
+	if _, err := fmt.Fprintf(w, "== Figure 11: %s memory per node (mean %.1f GB of %.0f GB, peak %.1f GB) ==\n",
+		r.Cluster, m.MeanGB, m.CapacityGB, m.PeakGB); err != nil {
+		return err
+	}
 	return TimeSeries(w, "mean GB per node per day", r.SeriesDaily("mem_used"), 10)
 }
 
@@ -205,8 +226,10 @@ func Fig12(w io.Writer, r *core.Realm) error {
 		return fmt.Errorf("report: no jobs for Fig 12")
 	}
 	m := r.MemoryReport()
-	fmt.Fprintf(w, "== Figure 12: %s job memory distributions (job-max mean %.1f GB of %.0f GB) ==\n",
-		r.Cluster, m.JobMaxMeanGB, m.CapacityGB)
+	if _, err := fmt.Fprintf(w, "== Figure 12: %s job memory distributions (job-max mean %.1f GB of %.0f GB) ==\n",
+		r.Cluster, m.JobMaxMeanGB, m.CapacityGB); err != nil {
+		return err
+	}
 	return Density(w, "per-job memory density", "GB per node",
 		map[string][]stats.CurvePoint{"mem_used": used, "mem_used_max": maxCurve}, 64, 12)
 }
@@ -214,7 +237,9 @@ func Fig12(w io.Writer, r *core.Realm) error {
 // CorrelationReport renders the §4.2 metric-selection evidence.
 func CorrelationReport(w io.Writer, r *core.Realm) error {
 	matrix := r.CorrelationMatrix(store.AllMetrics())
-	fmt.Fprintf(w, "== Metric correlation (sec 4.2), %s ==\n", r.Cluster)
+	if _, err := fmt.Fprintf(w, "== Metric correlation (sec 4.2), %s ==\n", r.Cluster); err != nil {
+		return err
+	}
 	t := NewTable("strongly correlated pairs (|rho| >= 0.9)", "metric A", "metric B", "rho")
 	for _, p := range core.CorrelatedPairs(matrix, 0.9) {
 		t.AddRow(string(p.A), string(p.B), fmt.Sprintf("%+.3f", core.Correlation(matrix, p.A, p.B)))
@@ -224,6 +249,6 @@ func CorrelationReport(w io.Writer, r *core.Realm) error {
 	}
 	picked := core.SelectIndependent(matrix,
 		append(store.KeyMetrics(), store.MetricCPUUser, store.MetricIBRx, store.MetricCPUSys, store.MetricRead, store.MetricLnetTx), 0.98)
-	fmt.Fprintf(w, "independent set (threshold 0.98): %v\n", picked)
-	return nil
+	_, err := fmt.Fprintf(w, "independent set (threshold 0.98): %v\n", picked)
+	return err
 }

@@ -40,18 +40,23 @@ func Suite(w io.Writer, who Stakeholder, realms ...*core.Realm) error {
 		return fmt.Errorf("report: suite needs at least one realm")
 	}
 	r := realms[0]
-	head := func(title string) {
-		fmt.Fprintf(w, "\n######## %s suite: %s ########\n", strings.ToUpper(string(who)), title)
+	head := func(title string) error {
+		_, err := fmt.Fprintf(w, "\n######## %s suite: %s ########\n", strings.ToUpper(string(who)), title)
+		return err
 	}
 	switch who {
 	case StakeholderUser:
 		// §4.3.1: resource use profile, comparative use, anomalous
 		// patterns, system choice.
-		head("usage profiles (Fig 2)")
+		if err := head("usage profiles (Fig 2)"); err != nil {
+			return err
+		}
 		if err := Fig2(w, r, 3); err != nil {
 			return err
 		}
-		head("anomalous resource use")
+		if err := head("anomalous resource use"); err != nil {
+			return err
+		}
 		for i, p := range r.AnomalousUsers(store.MetricCPUIdle, 3, 50) {
 			if i >= 2 {
 				break
@@ -61,30 +66,42 @@ func Suite(w io.Writer, who Stakeholder, realms ...*core.Realm) error {
 			}
 		}
 		if len(realms) > 1 {
-			head("which system suits the top codes (Fig 3 reading)")
+			if err := head("which system suits the top codes (Fig 3 reading)"); err != nil {
+				return err
+			}
 			for _, app := range []string{"namd", "amber", "gromacs"} {
 				choice := core.AdviseSystem(app, realms...)
 				if choice.Best != "" {
-					fmt.Fprintf(w, "  %-10s -> %s\n", app, choice.Best)
+					if _, err := fmt.Fprintf(w, "  %-10s -> %s\n", app, choice.Best); err != nil {
+						return err
+					}
 				}
 			}
 		}
 		return nil
 	case StakeholderDeveloper:
 		// §4.3.2: app profiles, comparative profiles, variability.
-		head("application profiles (Fig 3)")
+		if err := head("application profiles (Fig 3)"); err != nil {
+			return err
+		}
 		return Fig3(w, realms, []string{"namd", "amber", "gromacs"})
 	case StakeholderSupport:
 		// §4.3.3: inefficient users, abnormal terminations.
-		head("wasted node-hours (Fig 4)")
+		if err := head("wasted node-hours (Fig 4)"); err != nil {
+			return err
+		}
 		if err := Fig4(w, r); err != nil {
 			return err
 		}
-		head("the circled user (Fig 5)")
+		if err := head("the circled user (Fig 5)"); err != nil {
+			return err
+		}
 		if err := Fig5(w, r); err != nil {
 			return err
 		}
-		head("job completion failure profiles")
+		if err := head("job completion failure profiles"); err != nil {
+			return err
+		}
 		t := NewTable("", "app", "jobs", "failure%")
 		for _, p := range anomaly.FailureProfiles(r.Store, store.ByApp, r.JobFilter()) {
 			t.AddRow(p.Key, fmt.Sprintf("%d", p.Jobs), fmt.Sprintf("%.1f", p.FailurePct))
@@ -96,32 +113,46 @@ func Suite(w io.Writer, who Stakeholder, realms ...*core.Realm) error {
 		if err != nil {
 			return err
 		}
-		head("persistence (Table 1)")
+		if err := head("persistence (Table 1)"); err != nil {
+			return err
+		}
 		if err := Table1(w, tab); err != nil {
 			return err
 		}
-		head("persistence fit (Fig 6)")
+		if err := head("persistence fit (Fig 6)"); err != nil {
+			return err
+		}
 		if err := Fig6(w, r.Cluster, tab); err != nil {
 			return err
 		}
-		head("forecasts and scheduling hints")
+		if err := head("forecasts and scheduling hints"); err != nil {
+			return err
+		}
 		return ForecastReport(w, r)
 	case StakeholderManager:
 		// §4.3.5: workload characterization, system-level reports,
 		// trends.
-		head("system reports (Fig 7)")
+		if err := head("system reports (Fig 7)"); err != nil {
+			return err
+		}
 		if err := Fig7(w, r); err != nil {
 			return err
 		}
-		head("workload characterization")
+		if err := head("workload characterization"); err != nil {
+			return err
+		}
 		if err := Characterization(w, r.Cluster, r.Characterize()); err != nil {
 			return err
 		}
-		head("resource use trends")
+		if err := head("resource use trends"); err != nil {
+			return err
+		}
 		return Trends(w, r.Cluster, r.TrendReport())
 	case StakeholderFunding:
 		// §4.3.6: cross-system accountability.
-		head("system operation profiles (Figs 8-12 headlines)")
+		if err := head("system operation profiles (Figs 8-12 headlines)"); err != nil {
+			return err
+		}
 		for _, f := range []func() error{
 			func() error { return Fig8(w, r) },
 			func() error { return Fig9(w, r) },
@@ -131,7 +162,9 @@ func Suite(w io.Writer, who Stakeholder, realms ...*core.Realm) error {
 				return err
 			}
 		}
-		head("usage by discipline over time")
+		if err := head("usage by discipline over time"); err != nil {
+			return err
+		}
 		t := NewTable("", "week start", "science", "node-hours", "share")
 		points := r.UsageByScienceOverTime(7)
 		for i, p := range points {
@@ -146,7 +179,9 @@ func Suite(w io.Writer, who Stakeholder, realms ...*core.Realm) error {
 			return err
 		}
 		if len(realms) > 1 {
-			head("cross-system comparison")
+			if err := head("cross-system comparison"); err != nil {
+				return err
+			}
 			cmp := core.CompareSystems(realms...)
 			ct := NewTable("", "cluster", "node-hours", "efficiency", "allocated")
 			for _, row := range cmp.Rows {

@@ -293,7 +293,7 @@ func SVGFigures(r *core.Realm, open func(name string) (io.WriteCloser, error)) e
 			return err
 		}
 		if err := render(wc); err != nil {
-			wc.Close()
+			_ = wc.Close() // render error wins; close is cleanup here
 			return err
 		}
 		return wc.Close()

@@ -27,6 +27,7 @@ package taccstats
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -205,29 +206,61 @@ func ParseFile(r io.Reader) (*File, error) {
 	return f, nil
 }
 
-func parseSchemaLine(line string) (string, procfs.Schema, error) {
-	fields := strings.Fields(line[1:])
-	if len(fields) < 2 {
-		return "", nil, fmt.Errorf("malformed schema %q", line)
-	}
-	name := fields[0]
-	schema := make(procfs.Schema, 0, len(fields)-1)
-	for _, spec := range fields[1:] {
-		parts := strings.Split(spec, ",")
-		k := procfs.Key{Name: parts[0]}
-		for _, p := range parts[1:] {
-			switch {
-			case p == "E":
-				k.Class = procfs.Event
-			case strings.HasPrefix(p, "U="):
-				k.Unit = p[2:]
-			default:
-				return "", nil, fmt.Errorf("unknown key annotation %q in %q", p, spec)
-			}
+// parseSchemaLine parses "!name key[,E][,U=unit] ..." by walking the
+// line's bytes in place; the only copies made are the name, key and
+// unit strings the schema retains.
+func parseSchemaLine(line []byte) (string, procfs.Schema, error) {
+	body := line[1:]
+	i := 0
+	nameTok := nextField(body, &i)
+	var schema procfs.Schema
+	for {
+		spec := nextField(body, &i)
+		if spec == nil {
+			break
+		}
+		k, err := parseKeySpec(spec)
+		if err != nil {
+			return "", nil, err
 		}
 		schema = append(schema, k)
 	}
+	if nameTok == nil || len(schema) == 0 {
+		return "", nil, fmt.Errorf("malformed schema %q", line)
+	}
+	name := string(nameTok) //supremmlint:allow hotalloc: schema name is retained, once per schema line
 	return name, schema, nil
+}
+
+// parseKeySpec parses one "key[,E][,U=unit]" schema column descriptor.
+func parseKeySpec(spec []byte) (procfs.Key, error) {
+	var k procfs.Key
+	j := bytes.IndexByte(spec, ',')
+	if j < 0 {
+		k.Name = string(spec) //supremmlint:allow hotalloc: key name is retained by the schema
+		return k, nil
+	}
+	k.Name = string(spec[:j]) //supremmlint:allow hotalloc: key name is retained by the schema
+	rest := spec[j+1:]
+	for {
+		var p []byte
+		if c := bytes.IndexByte(rest, ','); c >= 0 {
+			p, rest = rest[:c], rest[c+1:]
+		} else {
+			p, rest = rest, nil
+		}
+		switch {
+		case len(p) == 1 && p[0] == 'E':
+			k.Class = procfs.Event
+		case len(p) >= 2 && p[0] == 'U' && p[1] == '=':
+			k.Unit = string(p[2:]) //supremmlint:allow hotalloc: unit string is retained by the schema
+		default:
+			return procfs.Key{}, fmt.Errorf("unknown key annotation %q in %q", p, spec)
+		}
+		if rest == nil {
+			return k, nil
+		}
+	}
 }
 
 // Get reads one value from a record; missing entries read 0 with

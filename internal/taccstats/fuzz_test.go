@@ -2,9 +2,17 @@ package taccstats
 
 import (
 	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strconv"
 	"testing"
 )
+
+var updateCorpus = flag.Bool("update-corpus", false,
+	"rewrite the committed testdata/fuzz seed corpus from fuzzSeedCorpus")
 
 // fuzzSeedCorpus renders the round-trip fixture plus the malformed-input
 // corpus exercised by TestParseRejectsMalformed, so the fuzzer starts
@@ -43,6 +51,43 @@ func fuzzSeedCorpus(tb testing.TB) [][]byte {
 		[]byte("!cpu user,Z\n"),
 		[]byte("$loner\n"),
 		[]byte(header + "100\ncpu 0\n"),
+	}
+}
+
+// corpusEntry renders one seed in the `go test fuzz v1` corpus file
+// format.
+func corpusEntry(seed []byte) string {
+	return fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+}
+
+// TestSeedCorpusCommitted pins the committed seed corpus under
+// testdata/fuzz/FuzzParseFile to the in-code seeds, so `go test` and
+// `make fuzz-smoke` replay them even on machines with an empty fuzz
+// cache. Regenerate with -update-corpus after changing fuzzSeedCorpus.
+func TestSeedCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzParseFile")
+	seeds := fuzzSeedCorpus(t)
+	if *updateCorpus {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(corpusEntry(seed)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, seed := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("corpus file missing (regenerate with -update-corpus): %v", err)
+		}
+		if want := corpusEntry(seed); string(got) != want {
+			t.Errorf("%s is stale (regenerate with -update-corpus):\n got  %q\n want %q",
+				name, got, want)
+		}
 	}
 }
 
