@@ -1,7 +1,7 @@
 # Convenience targets for the SUPReMM reproduction.
 GO ?= go
 
-.PHONY: all build test test-race vet lint fuzz-smoke bench bench-ingest figures dashboard clean
+.PHONY: all build test test-race vet lint fuzz-smoke test-faults bench bench-ingest figures dashboard clean
 
 all: build vet lint test test-race
 
@@ -21,6 +21,13 @@ lint:
 # short budget of new inputs against the raw-format parsers.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseFile -fuzztime 10s ./internal/taccstats
+
+# Fault-injection differential suite under the race detector: corrupted
+# hosts quarantine, untouched jobs stay bit-identical, sequential and
+# parallel ingest agree on the quality report (DESIGN.md section 9).
+test-faults:
+	$(GO) test -race -run 'Degrad|Fault|Flaky|Inject|Polic|Quarantine|Retr|Skew|Quality|Truncate' \
+		./internal/faultinject ./internal/ingest ./cmd/ingest ./cmd/taccstatsd
 
 test:
 	$(GO) test ./...

@@ -1,9 +1,15 @@
 // Command ingest is the ETL stage run standalone: it parses a directory
 // of raw TACC_Stats files, joins them with an accounting log by job ID,
-// and writes the job-record store and system series — the paper's
-// "ingest into the data warehouse" step (Fig 1).
+// and writes the job-record store, system series, and data-quality
+// report — the paper's "ingest into the data warehouse" step (Fig 1).
 //
 //	ingest -raw ./data/raw -acct ./data/accounting.log -out ./data
+//
+// By default the ingest runs lenient: unreadable or corrupt files are
+// quarantined and accounted for in quality.json rather than aborting
+// the run (18 months of production data always contains some damage).
+// -strict restores abort-at-first-fault, for validating archives that
+// are supposed to be clean.
 //
 // Profiling the hot path (see "Ingest performance" in README.md):
 //
@@ -17,6 +23,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"supremm/internal/ingest"
 	"supremm/internal/sched"
@@ -25,16 +32,20 @@ import (
 
 func main() {
 	var (
-		rawDir     = flag.String("raw", "", "directory of raw TACC_Stats files (host/day.raw)")
-		acctFl     = flag.String("acct", "", "accounting log file")
-		out        = flag.String("out", "data", "output directory")
-		workers    = flag.Int("workers", 0, "parallel host workers (0 = GOMAXPROCS)")
+		rawDir      = flag.String("raw", "", "directory of raw TACC_Stats files (host/day.raw)")
+		acctFl      = flag.String("acct", "", "accounting log file")
+		out         = flag.String("out", "data", "output directory")
+		workers     = flag.Int("workers", 0, "parallel host workers (0 = GOMAXPROCS)")
+		strict      = flag.Bool("strict", false, "abort at the first faulty file instead of quarantining it")
+		maxInterval = flag.Int64("max-interval", ingest.DefaultMaxIntervalSec,
+			"suppress intervals longer than this many seconds (missing days, clock steps); negative disables")
+		retries    = flag.Int("retries", 2, "retries per file for transient read failures")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *rawDir == "" || *acctFl == "" {
-		fmt.Fprintln(os.Stderr, "usage: ingest -raw DIR -acct FILE [-out DIR] [-workers N] [-cpuprofile FILE] [-memprofile FILE]")
+		fmt.Fprintln(os.Stderr, "usage: ingest -raw DIR -acct FILE [-out DIR] [-workers N] [-strict] [-max-interval SEC] [-retries N] [-cpuprofile FILE] [-memprofile FILE]")
 		os.Exit(2)
 	}
 	if *cpuprofile != "" {
@@ -48,7 +59,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err := runWorkers(*rawDir, *acctFl, *out, *workers)
+	policy := ingest.Lenient
+	if *strict {
+		policy = ingest.Strict
+	}
+	err := runWorkers(*rawDir, *acctFl, *out, *workers, ingest.Options{
+		Policy:         policy,
+		MaxIntervalSec: *maxInterval,
+		RetryMax:       *retries,
+		Backoff: func(attempt int) {
+			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+		},
+	})
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -76,10 +98,10 @@ func writeHeapProfile(path string) error {
 // run keeps the sequential entry point for tests; the CLI goes through
 // runWorkers.
 func run(rawDir, acctPath, out string) error {
-	return runWorkers(rawDir, acctPath, out, 1)
+	return runWorkers(rawDir, acctPath, out, 1, ingest.Options{Policy: ingest.Lenient})
 }
 
-func runWorkers(rawDir, acctPath, out string, workers int) error {
+func runWorkers(rawDir, acctPath, out string, workers int, opts ingest.Options) error {
 	af, err := os.Open(acctPath)
 	if err != nil {
 		return err
@@ -89,8 +111,13 @@ func runWorkers(rawDir, acctPath, out string, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "ingesting %s with %d accounting records...\n", rawDir, len(acct))
-	res, err := ingest.IngestRawParallel(rawDir, acct, workers)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts.Workers = workers
+	fmt.Fprintf(os.Stderr, "ingesting %s with %d accounting records (%s policy)...\n",
+		rawDir, len(acct), opts.Policy)
+	res, err := ingest.IngestRawOpts(rawDir, acct, opts)
 	if err != nil {
 		return err
 	}
@@ -119,7 +146,15 @@ func runWorkers(rawDir, acctPath, out string, workers int) error {
 	if err := sf.Close(); err != nil {
 		return err
 	}
+	if err := ingest.SaveQuality(filepath.Join(out, "quality.json"), &res.Quality); err != nil {
+		return err
+	}
+	q := &res.Quality
 	fmt.Fprintf(os.Stderr, "wrote %d job records, %d series samples (%d unattributed intervals)\n",
 		res.Store.Len(), len(res.Series), res.Unattributed)
+	fmt.Fprintf(os.Stderr, "data quality: %.1f%% of %d files ingested (%d quarantined), %d records dropped, %d resets, %d intervals clamped, %d retries, %d jobs without data\n",
+		q.Completeness()*100, q.FilesScanned, q.FilesQuarantined,
+		q.RecordsDropped, q.ResetsDetected, q.IntervalsClamped,
+		q.RetriesPerformed, q.JobsNoData)
 	return nil
 }

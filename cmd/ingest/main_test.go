@@ -3,9 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"supremm/internal/cluster"
+	"supremm/internal/ingest"
 	"supremm/internal/sched"
 	"supremm/internal/sim"
 	"supremm/internal/store"
@@ -62,6 +64,58 @@ func TestIngestCommandEndToEnd(t *testing.T) {
 	}
 	if len(series) == 0 {
 		t.Error("empty series")
+	}
+	q, err := ingest.LoadQuality(filepath.Join(out, "quality.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.FilesScanned == 0 {
+		t.Error("quality report scanned no files")
+	}
+	if q.FilesQuarantined != 0 {
+		t.Errorf("clean sim archive quarantined %d files", q.FilesQuarantined)
+	}
+}
+
+func TestIngestCommandPolicies(t *testing.T) {
+	work := t.TempDir()
+	rawDir := filepath.Join(work, "raw")
+	hostDir := filepath.Join(rawDir, "h1")
+	if err := os.MkdirAll(hostDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := "$tacc_stats 2.0\n!cpu user,E idle,E\n1000\ncpu 0 1 9\n1600\ncpu 0 garbage 18\n"
+	if err := os.WriteFile(filepath.Join(hostDir, "1.raw"), []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	acctPath := filepath.Join(work, "accounting.log")
+	af, err := os.Create(acctPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.WriteAcct(af, nil); err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+
+	// Lenient (the default) quarantines and succeeds.
+	out := filepath.Join(work, "out")
+	if err := run(rawDir, acctPath, out); err != nil {
+		t.Fatalf("lenient run errored on corrupt file: %v", err)
+	}
+	q, err := ingest.LoadQuality(filepath.Join(out, "quality.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.FilesQuarantined != 1 {
+		t.Errorf("quality = %+v, want 1 quarantined file", q)
+	}
+
+	// Strict aborts with host/file context.
+	err = runWorkers(rawDir, acctPath, filepath.Join(work, "out-strict"), 1,
+		ingest.Options{Policy: ingest.Strict})
+	if err == nil || !strings.Contains(err.Error(), "h1/1.raw") {
+		t.Fatalf("strict run error = %v, want fault at h1/1.raw", err)
 	}
 }
 

@@ -9,17 +9,21 @@
 //	xdmod -data ./data -report persistence    # Table 1 / Fig 6
 //	xdmod -data ./data -report system         # Figs 7-12 headlines
 //	xdmod -data ./data -report failures       # completion failure profiles
+//	xdmod -data ./data -report quality        # ingest data-completeness report
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
 	"supremm/internal/anomaly"
 	"supremm/internal/cluster"
 	"supremm/internal/core"
+	"supremm/internal/ingest"
 	"supremm/internal/report"
 	"supremm/internal/sched"
 	"supremm/internal/store"
@@ -28,7 +32,7 @@ import (
 func main() {
 	var (
 		data     = flag.String("data", "data", "data directory (jobs.jsonl, series.jsonl)")
-		reportFl = flag.String("report", "system", "report: users|apps|efficiency|persistence|system|failures|trends|workload|forecast|waits")
+		reportFl = flag.String("report", "system", "report: users|apps|efficiency|persistence|system|failures|trends|workload|forecast|waits|quality")
 		queryFl  = flag.String("query", "", "custom report, e.g. 'group=app metrics=cpu_idle,cpu_flops limit=10'")
 		suiteFl  = flag.String("suite", "", "render a full stakeholder suite: user|developer|support|admin|manager|funding")
 		topN     = flag.Int("n", 5, "how many users/apps to show")
@@ -99,13 +103,30 @@ func loadRealm(dir string) (*core.Realm, error) {
 	return core.NewRealm(name, cc.CoresPerNode(), cc.MemPerNodeGB, cc.PeakTFlops(), st, series), nil
 }
 
-// runSuite renders one stakeholder's full report set (§4.3).
+// runSuite renders one stakeholder's full report set (§4.3), with the
+// data-completeness section appended for support/admin when the data
+// directory carries an ingest quality report.
 func runSuite(dir, who string) error {
 	r, err := loadRealm(dir)
 	if err != nil {
 		return err
 	}
-	return report.Suite(os.Stdout, report.Stakeholder(who), r)
+	q, err := loadQuality(dir)
+	if err != nil {
+		return err
+	}
+	return report.SuiteWithQuality(os.Stdout, report.Stakeholder(who), q, r)
+}
+
+// loadQuality reads the data directory's ingest quality report; a
+// missing file is not an error (cmd/simulate writes none), it just
+// means no completeness section.
+func loadQuality(dir string) (*ingest.DataQuality, error) {
+	q, err := ingest.LoadQuality(filepath.Join(dir, "quality.json"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	return q, err
 }
 
 // runQuery executes a custom report (the §4.3 "custom reports" path).
@@ -190,6 +211,12 @@ func run(dir, what string, n int) error {
 			return err
 		}
 		return report.WaitReport(out, r.Cluster, sched.ComputeWaitStats(acct))
+	case "quality":
+		q, err := ingest.LoadQuality(filepath.Join(dir, "quality.json"))
+		if err != nil {
+			return fmt.Errorf("quality report needs quality.json from cmd/ingest: %w", err)
+		}
+		return report.DataCompleteness(out, q)
 	case "failures":
 		t := report.NewTable("job completion failure profiles by application",
 			"app", "jobs", "completed", "failed", "timeout", "node_fail", "failure%")

@@ -2,9 +2,11 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"testing"
 
 	"supremm/internal/cluster"
+	"supremm/internal/ingest"
 	"supremm/internal/sim"
 	"supremm/internal/store"
 )
@@ -71,6 +73,14 @@ func TestAllReports(t *testing.T) {
 	if err := run(dir, "bogus", 3); err == nil {
 		t.Error("unknown report should error")
 	}
+	// The quality report needs quality.json from cmd/ingest.
+	if err := run(dir, "quality", 3); err == nil {
+		t.Error("quality without quality.json should error")
+	}
+	writeQuality(t, dir)
+	if err := run(dir, "quality", 3); err != nil {
+		t.Errorf("report quality: %v", err)
+	}
 	// The waits report needs the accounting log, which writeData does
 	// not produce.
 	if err := run(dir, "waits", 3); err == nil {
@@ -81,6 +91,18 @@ func TestAllReports(t *testing.T) {
 	}
 }
 
+// writeQuality drops a small degraded quality report next to the data.
+func writeQuality(t *testing.T, dir string) {
+	t.Helper()
+	q := &ingest.DataQuality{
+		FilesScanned: 20, FilesQuarantined: 1,
+		Quarantined: []ingest.QuarantinedFile{{Host: "h1", File: "1.raw", Reason: "parse: garbled"}},
+	}
+	if err := ingest.SaveQuality(filepath.Join(dir, "quality.json"), q); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunSuiteCommand(t *testing.T) {
 	dir := t.TempDir()
 	writeData(t, dir)
@@ -88,6 +110,18 @@ func TestRunSuiteCommand(t *testing.T) {
 		if err := runSuite(dir, who); err != nil {
 			t.Errorf("suite %s: %v", who, err)
 		}
+	}
+	// With a quality report present the suites pick it up.
+	writeQuality(t, dir)
+	if err := runSuite(dir, "support"); err != nil {
+		t.Errorf("suite with quality report: %v", err)
+	}
+	// A corrupt quality report is an error, not silently ignored.
+	if err := os.WriteFile(filepath.Join(dir, "quality.json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSuite(dir, "support"); err == nil {
+		t.Error("corrupt quality.json should error")
 	}
 	if err := runSuite(dir, "alien"); err == nil {
 		t.Error("unknown stakeholder should error")

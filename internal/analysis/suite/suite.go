@@ -61,11 +61,17 @@ func Analyzers() []Scoped {
 			},
 		},
 		{
-			// The artifact emitters: report renderers and the cmd tools
-			// that write figures and warehouse files.
+			// The artifact emitters (report renderers, cmd tools writing
+			// figures and warehouse files) plus the degraded-mode ingest
+			// and fault injector: quarantine and retry decisions hinge on
+			// seeing every I/O error, so none may be dropped there.
 			Analyzer: errsink.Analyzer,
 			PkgMatch: func(pkgPath string) bool {
-				return pkgPath == "supremm/internal/report" || strings.HasPrefix(pkgPath, "supremm/cmd/")
+				switch pkgPath {
+				case "supremm/internal/report", "supremm/internal/ingest", "supremm/internal/faultinject":
+					return true
+				}
+				return strings.HasPrefix(pkgPath, "supremm/cmd/")
 			},
 		},
 	}

@@ -1,0 +1,385 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/fstest"
+)
+
+// writeCleanArchive builds a minimal-but-valid clean raw archive:
+// nHosts hosts, filesPerHost numerically named day files, recsPerFile
+// records each at 600 s spacing, counters advancing monotonically.
+func writeCleanArchive(t *testing.T, dir string, nHosts, filesPerHost, recsPerFile int) {
+	t.Helper()
+	for h := 0; h < nHosts; h++ {
+		host := fmt.Sprintf("c%03d", h+1)
+		hostDir := filepath.Join(dir, host)
+		if err := os.MkdirAll(hostDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		ts := int64(1000)
+		for f := 0; f < filesPerHost; f++ {
+			var sb strings.Builder
+			sb.WriteString("$tacc_stats 2.0\n")
+			sb.WriteString("$hostname " + host + "\n")
+			sb.WriteString("$arch amd64_opteron\n")
+			sb.WriteString("!cpu user,E,U=cs system,E,U=cs idle,E,U=cs iowait,E,U=cs\n")
+			sb.WriteString("!mem MemUsed,U=KB\n")
+			for r := 0; r < recsPerFile; r++ {
+				base := uint64(ts) * 10
+				fmt.Fprintf(&sb, "%d\n", ts)
+				fmt.Fprintf(&sb, "cpu 0 %d %d %d %d\n", base, base/2, base*3, base/4)
+				fmt.Fprintf(&sb, "cpu 1 %d %d %d %d\n", base+7, base/2+3, base*3+11, base/4+1)
+				fmt.Fprintf(&sb, "mem 0 524288\n")
+				ts += 600
+			}
+			name := fmt.Sprintf("%d.raw", f+1)
+			if err := os.WriteFile(filepath.Join(hostDir, name), []byte(sb.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// readTree maps relative path -> contents for every file under dir.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		out[rel] = string(b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	src := t.TempDir()
+	writeCleanArchive(t, src, 6, 3, 5)
+	spec := Spec{Seed: 42, HostFrac: 0.5}
+
+	dst1, dst2 := t.TempDir(), t.TempDir()
+	m1, err := Inject(src, dst1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Inject(src, dst2, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("manifests differ:\n%+v\n%+v", m1, m2)
+	}
+	t1, t2 := readTree(t, dst1), readTree(t, dst2)
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatal("corrupted trees differ between identical runs")
+	}
+
+	m3, err := Inject(src, t.TempDir(), Spec{Seed: 43, HostFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(m1.Faults, m3.Faults) {
+		t.Fatal("different seeds produced identical fault lists")
+	}
+}
+
+func TestInjectVictimSelectionAndIsolation(t *testing.T) {
+	src := t.TempDir()
+	writeCleanArchive(t, src, 10, 3, 5)
+	dst := t.TempDir()
+	m, err := Inject(src, dst, Spec{Seed: 7, HostFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Hosts) != 3 {
+		t.Fatalf("HostFrac 0.3 of 10 hosts: got %d victims, want 3", len(m.Hosts))
+	}
+	clean := readTree(t, src)
+	dirty := readTree(t, dst)
+	for rel, want := range clean {
+		host := filepath.Dir(rel)
+		if m.Corrupted(host) {
+			continue
+		}
+		got, ok := dirty[rel]
+		if !ok {
+			t.Fatalf("untouched host file %s missing from dst", rel)
+		}
+		if got != want {
+			t.Fatalf("untouched host file %s differs from src", rel)
+		}
+	}
+	// Every victim must differ from clean somewhere.
+	for _, host := range m.Hosts {
+		same := true
+		for rel, want := range clean {
+			if filepath.Dir(rel) != host {
+				continue
+			}
+			if dirty[rel] != want {
+				same = false
+			}
+		}
+		if same {
+			t.Fatalf("victim host %s is byte-identical to clean archive", host)
+		}
+	}
+}
+
+func TestInjectKinds(t *testing.T) {
+	src := t.TempDir()
+	writeCleanArchive(t, src, 4, 3, 6)
+
+	check := func(t *testing.T, kind Kind, m *Manifest, dirty map[string]string, clean map[string]string) {
+		if len(m.Faults) != len(m.Hosts) {
+			t.Fatalf("%d faults for %d victims", len(m.Faults), len(m.Hosts))
+		}
+		f := m.Faults[0]
+		if f.Kind != kind {
+			t.Fatalf("fault kind = %s, want %s", f.Kind, kind)
+		}
+		rel := filepath.Join(f.Host, f.File)
+		switch kind {
+		case KindMissingDay:
+			if _, ok := dirty[rel]; ok {
+				t.Fatalf("missing-day target %s still present", rel)
+			}
+			if m.Expect.IntervalsClamped != len(m.Hosts) {
+				t.Fatalf("Expect.IntervalsClamped = %d", m.Expect.IntervalsClamped)
+			}
+		case KindTruncate:
+			got := dirty[rel]
+			if strings.HasSuffix(got, "\n") {
+				t.Fatalf("truncated file %s ends with newline", rel)
+			}
+			if len(got) >= len(clean[rel]) {
+				t.Fatalf("truncated file %s not shorter than clean", rel)
+			}
+			if m.Expect.FilesQuarantined != len(m.Hosts) {
+				t.Fatalf("Expect.FilesQuarantined = %d", m.Expect.FilesQuarantined)
+			}
+		case KindGarble:
+			if !strings.Contains(dirty[rel], "###bitrot###") {
+				t.Fatalf("garbled file %s lacks corruption marker", rel)
+			}
+			if f.Line == 0 {
+				t.Fatal("garble fault has no line number")
+			}
+			lines := strings.Split(dirty[rel], "\n")
+			if !strings.Contains(lines[f.Line-1], "###bitrot###") {
+				t.Fatalf("manifest line %d does not point at the garbled line", f.Line)
+			}
+		case KindDuplicate:
+			if strings.Count(dirty[rel], "\n") != strings.Count(clean[rel], "\n")+4 {
+				t.Fatalf("duplicate did not add exactly one record (4 lines)")
+			}
+			if m.Expect.DuplicatesSkipped != len(m.Hosts) {
+				t.Fatalf("Expect.DuplicatesSkipped = %d", m.Expect.DuplicatesSkipped)
+			}
+		case KindReorder:
+			if dirty[rel] == clean[rel] {
+				t.Fatalf("reorder left %s unchanged", rel)
+			}
+			if m.Expect.RecordsDropped != len(m.Hosts) {
+				t.Fatalf("Expect.RecordsDropped = %d", m.Expect.RecordsDropped)
+			}
+		case KindClockSkew:
+			if dirty[rel] == clean[rel] {
+				t.Fatalf("clock-skew left %s unchanged", rel)
+			}
+			if m.Expect.IntervalsClamped != len(m.Hosts) {
+				t.Fatalf("Expect.IntervalsClamped = %d", m.Expect.IntervalsClamped)
+			}
+		case KindCounterReset:
+			if dirty[rel] == clean[rel] {
+				t.Fatalf("counter-reset left %s unchanged", rel)
+			}
+			if m.Expect.ResetsDetected != len(m.Hosts) {
+				t.Fatalf("Expect.ResetsDetected = %d", m.Expect.ResetsDetected)
+			}
+		}
+	}
+
+	for _, kind := range AllKinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			dst := t.TempDir()
+			m, err := Inject(src, dst, Spec{Seed: 99, HostFrac: 0.25, Kinds: []Kind{kind}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(m.Hosts) != 1 {
+				t.Fatalf("got %d victims, want 1", len(m.Hosts))
+			}
+			check(t, kind, m, readTree(t, dst), readTree(t, src))
+		})
+	}
+}
+
+func TestInjectCounterResetRebasesForward(t *testing.T) {
+	src := t.TempDir()
+	writeCleanArchive(t, src, 1, 3, 6)
+	dst := t.TempDir()
+	m, err := Inject(src, dst, Spec{Seed: 3, HostFrac: 1, Kinds: []Kind{KindCounterReset}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Faults[0]
+	// The record at the reset point must read near zero: its first cpu
+	// value rebased against itself is exactly 0.
+	content := dirty(t, dst, f.Host, f.File)
+	if !strings.Contains(content, "\ncpu 0 0 ") {
+		t.Fatalf("reset record not rebased to zero:\n%s", content)
+	}
+	// Later files must also be rebased (reboot persists), so file 3
+	// differs from clean whenever the reset started in file 2 or earlier.
+	if f.File != "3.raw" {
+		cleanLast, _ := os.ReadFile(filepath.Join(src, f.Host, "3.raw"))
+		dirtyLast, _ := os.ReadFile(filepath.Join(dst, f.Host, "3.raw"))
+		if string(cleanLast) == string(dirtyLast) {
+			t.Fatal("counter reset did not propagate to later files")
+		}
+	}
+}
+
+func dirty(t *testing.T, dir, host, file string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, host, file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestInjectClockSkewMonotoneAfterJump(t *testing.T) {
+	src := t.TempDir()
+	writeCleanArchive(t, src, 1, 3, 6)
+	dst := t.TempDir()
+	m, err := Inject(src, dst, Spec{Seed: 5, HostFrac: 1, Kinds: []Kind{KindClockSkew}, SkewSec: 7200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect all timestamps across the host's files in day order; there
+	// must be exactly one jump of ~7200+600 and no backwards steps (the
+	// skew persists, so time stays monotone after the jump).
+	var ts []int64
+	for _, name := range []string{"1.raw", "2.raw", "3.raw"} {
+		rf, err := parseRawLines(filepath.Join(dst, m.Hosts[0], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range rf.blocks {
+			ts = append(ts, b.ts)
+		}
+	}
+	jumps := 0
+	for i := 1; i < len(ts); i++ {
+		d := ts[i] - ts[i-1]
+		if d < 0 {
+			t.Fatalf("clock skew produced backwards time at index %d", i)
+		}
+		if d > 600 {
+			jumps++
+			if d != 7200+600 {
+				t.Fatalf("jump of %d s, want %d", d, 7200+600)
+			}
+		}
+	}
+	if jumps != 1 {
+		t.Fatalf("got %d jumps, want 1", jumps)
+	}
+}
+
+func TestFlakyFSOpen(t *testing.T) {
+	inner := fstest.MapFS{
+		"h/1.raw": &fstest.MapFile{Data: []byte("hello")},
+		"h/2.raw": &fstest.MapFile{Data: []byte("world")},
+	}
+	ffs := NewFlakyFS(inner, FailOpen, map[string]int{"h/1.raw": 2})
+
+	for i := 0; i < 2; i++ {
+		_, err := ffs.Open("h/1.raw")
+		if err == nil {
+			t.Fatalf("attempt %d: expected injected error", i+1)
+		}
+		if !IsTransient(err) {
+			t.Fatalf("injected error not transient: %v", err)
+		}
+	}
+	f, err := ffs.Open("h/1.raw")
+	if err != nil {
+		t.Fatalf("attempt 3 should succeed: %v", err)
+	}
+	b, _ := io.ReadAll(f)
+	f.Close()
+	if string(b) != "hello" {
+		t.Fatalf("read %q after failures drained", b)
+	}
+	if f, err := ffs.Open("h/2.raw"); err != nil {
+		t.Fatalf("untargeted path failed: %v", err)
+	} else {
+		f.Close()
+	}
+	if ffs.Injected() != 2 {
+		t.Fatalf("Injected() = %d, want 2", ffs.Injected())
+	}
+}
+
+func TestFlakyFSRead(t *testing.T) {
+	inner := fstest.MapFS{"h/1.raw": &fstest.MapFile{Data: []byte("payload")}}
+	ffs := NewFlakyFS(inner, FailRead, map[string]int{"h/1.raw": 1})
+
+	f, err := ffs.Open("h/1.raw")
+	if err != nil {
+		t.Fatalf("open should succeed in FailRead mode: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.Read(buf); err == nil || !IsTransient(err) {
+		t.Fatalf("first read should fail transiently, got %v", err)
+	}
+	b, err := io.ReadAll(f)
+	f.Close()
+	if err != nil || string(b) != "payload" {
+		t.Fatalf("post-failure read = %q, %v", b, err)
+	}
+
+	// Second open: failure budget exhausted, reads clean.
+	f2, err := ffs.Open("h/1.raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = io.ReadAll(f2)
+	f2.Close()
+	if err != nil || string(b) != "payload" {
+		t.Fatalf("drained open read = %q, %v", b, err)
+	}
+}
+
+func TestIsTransientPlainError(t *testing.T) {
+	if IsTransient(fmt.Errorf("ordinary failure")) {
+		t.Fatal("plain error reported transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil error reported transient")
+	}
+	wrapped := fmt.Errorf("outer: %w", &TransientError{Op: "read", Path: "x", N: 1})
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped TransientError not detected")
+	}
+}

@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+)
+
+// TransientError marks an injected failure as retryable. It satisfies
+// the same Temporary() contract syscall errors use, so ingest retry
+// logic keyed on that interface treats real EAGAIN/EINTR-class errors
+// and injected ones identically.
+type TransientError struct {
+	Op   string
+	Path string
+	N    int // which attempt this error failed (1-based)
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: transient %s error on %s (attempt %d)", e.Op, e.Path, e.N)
+}
+
+// Temporary reports that the failure is retryable.
+func (e *TransientError) Temporary() bool { return true }
+
+// IsTransient reports whether any error in err's chain declares itself
+// Temporary(), the stdlib convention for retryable I/O failures.
+func IsTransient(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
+}
+
+// FailMode selects where a FlakyFS injects its failures.
+type FailMode int
+
+const (
+	// FailOpen fails fs.FS.Open calls.
+	FailOpen FailMode = iota
+	// FailRead lets Open succeed and fails the first Read on the handle.
+	FailRead
+)
+
+// FlakyFS wraps an fs.FS and fails a configured number of operations on
+// chosen paths with TransientError, then behaves normally — the shape
+// of an overloaded parallel filesystem during ingest. It is safe for
+// concurrent use and fully deterministic: failures are consumed in
+// per-path counts, not by chance.
+type FlakyFS struct {
+	inner fs.FS
+	mode  FailMode
+
+	mu        sync.Mutex
+	remaining map[string]int
+	injected  int
+}
+
+// NewFlakyFS wraps inner so that each path in failures errors that many
+// times (at mode's failure point) before succeeding.
+func NewFlakyFS(inner fs.FS, mode FailMode, failures map[string]int) *FlakyFS {
+	rem := make(map[string]int, len(failures))
+	for p, n := range failures {
+		if n > 0 {
+			rem[p] = n
+		}
+	}
+	return &FlakyFS{inner: inner, mode: mode, remaining: rem}
+}
+
+// Injected returns how many errors have been injected so far.
+func (f *FlakyFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// take consumes one failure for path if any remain, returning the
+// attempt number (1-based) and true.
+func (f *FlakyFS) take(path string) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.remaining[path]
+	if !ok || n <= 0 {
+		return 0, false
+	}
+	f.remaining[path] = n - 1
+	f.injected++
+	return f.injected, true
+}
+
+// Open implements fs.FS.
+func (f *FlakyFS) Open(name string) (fs.File, error) {
+	if f.mode == FailOpen {
+		if n, ok := f.take(name); ok {
+			return nil, &fs.PathError{Op: "open", Path: name,
+				Err: &TransientError{Op: "open", Path: name, N: n}}
+		}
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.mode == FailRead {
+		if n, ok := f.take(name); ok {
+			// The handle fails its first Read, then reads normally.
+			return &flakyFile{File: file, err: &TransientError{Op: "read", Path: name, N: n}}, nil
+		}
+	}
+	return file, nil
+}
+
+// ReadDir implements fs.ReadDirFS by delegating to the inner FS.
+func (f *FlakyFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return fs.ReadDir(f.inner, name)
+}
+
+// flakyFile fails its first Read with the configured error.
+type flakyFile struct {
+	fs.File
+	err error
+}
+
+func (f *flakyFile) Read(p []byte) (int, error) {
+	if f.err != nil {
+		err := f.err
+		f.err = nil
+		return 0, err
+	}
+	return f.File.Read(p)
+}

@@ -2,22 +2,22 @@ package ingest
 
 import (
 	"fmt"
-	"os"
+	"io/fs"
 	"runtime"
-	"sort"
 	"sync"
 
 	"supremm/internal/sched"
-	"supremm/internal/store"
 )
 
 // hostResult is everything one host's raw files contribute: attributed
-// intervals and the host's slice of every system bucket.
+// intervals, the host's slice of every system bucket, and its data-
+// quality accounting.
 type hostResult struct {
 	host         string
 	intervals    []attributedInterval
 	buckets      map[int64]*sysBucket
 	unattributed int
+	quality      DataQuality
 	err          error
 }
 
@@ -30,14 +30,22 @@ type attributedInterval struct {
 // parsed and delta-reduced concurrently, then merged in sorted host
 // order so the result is byte-identical to the sequential path (float
 // summation order is fixed by the merge order, not by goroutine
-// scheduling). workers <= 0 uses GOMAXPROCS.
+// scheduling; quarantine decisions are per-host and deterministic).
+// workers <= 0 uses GOMAXPROCS.
 func IngestRawParallel(dir string, acct []sched.AcctRecord, workers int) (*RawResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	return IngestRawOpts(dir, acct, Options{Policy: Strict, Workers: workers})
+}
+
+// ingestParallel is the Workers > 1 arm of IngestRawOpts.
+func ingestParallel(dir string, acct []sched.AcctRecord, opts Options) (*RawResult, error) {
+	workers := opts.Workers
+	o := opts.resolve(dir)
 	windowsByHost, identities := indexAccounting(acct)
 
-	hostDirs, err := os.ReadDir(dir)
+	hostDirs, err := fs.ReadDir(o.fsys, ".")
 	if err != nil {
 		return nil, fmt.Errorf("ingest: read raw dir: %w", err)
 	}
@@ -52,7 +60,7 @@ func IngestRawParallel(dir string, acct []sched.AcctRecord, workers int) (*RawRe
 		go func() {
 			defer wg.Done()
 			for host := range jobs {
-				res := processHost(dir, host, windowsByHost[host])
+				res := processHost(o, host, windowsByHost[host])
 				mu.Lock()
 				results[host] = res
 				mu.Unlock()
@@ -69,12 +77,14 @@ func IngestRawParallel(dir string, acct []sched.AcctRecord, workers int) (*RawRe
 	acc := NewAccumulator()
 	buckets := make(map[int64]*sysBucket)
 	unattributed := 0
+	var quality DataQuality
 	for _, hd := range hosts {
 		res := results[hd.Name()]
 		if res.err != nil {
 			return nil, res.err
 		}
 		unattributed += res.unattributed
+		quality.add(&res.quality)
 		for _, ai := range res.intervals {
 			if !acc.Started(ai.jobID) {
 				acc.StartJob(identities[ai.jobID])
@@ -92,32 +102,16 @@ func IngestRawParallel(dir string, acct []sched.AcctRecord, workers int) (*RawRe
 			b.merge(hb)
 		}
 	}
-
-	st := store.New()
-	ids := make([]int64, 0, len(identities))
-	for id := range identities {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if !acc.Started(id) {
-			acc.StartJob(identities[id])
-		}
-		rec, err := acc.FinishJob(id)
-		if err != nil {
-			return nil, err
-		}
-		st.Add(rec)
-	}
-	return &RawResult{Store: st, Series: flattenBuckets(buckets), Unattributed: unattributed}, nil
+	return finalize(acc, identities, buckets, unattributed, &quality)
 }
 
 // processHost streams one host's files into attributed intervals and
 // per-time buckets through the schema-compiled fast path. It never
-// touches shared state.
-func processHost(dir, host string, windows []jobWindow) *hostResult {
+// touches shared state; its quarantine decisions depend only on the
+// host's own files, so they match the sequential path exactly.
+func processHost(o rawOptions, host string, windows []jobWindow) *hostResult {
 	res := &hostResult{host: host, buckets: make(map[int64]*sysBucket)}
-	err := streamHost(dir, host, func(prevTime, curTime int64, iv Interval) {
+	err := streamHost(o, host, &res.quality, func(prevTime, curTime int64, iv Interval) {
 		mid := prevTime + int64(iv.DtSec/2)
 		jobID := findJob(windows, mid)
 		if jobID != 0 {

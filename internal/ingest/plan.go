@@ -1,10 +1,6 @@
 package ingest
 
 import (
-	"fmt"
-	"os"
-	"path/filepath"
-
 	"supremm/internal/procfs"
 	"supremm/internal/taccstats"
 )
@@ -150,52 +146,4 @@ func computeIntervalPlan(p *metricPlan, prev, cur []uint64, dt float64) Interval
 	iv.IBRxB = sumEventCols(prev, cur, p.ibRx)
 	iv.LnetTxB = sumEventCols(prev, cur, p.lnetTx)
 	return iv
-}
-
-// streamHost streams one host's day files in order through ParseStream,
-// compiling the metric plan per file and folding each (prev, cur) record
-// pair into an Interval as it is read. Peak memory is two flat record
-// arrays per host, independent of file size. emit receives intervals in
-// exactly the order the materializing path produced them.
-func streamHost(dir, host string, emit func(prevTime, curTime int64, iv Interval)) error {
-	files, err := os.ReadDir(filepath.Join(dir, host))
-	if err != nil {
-		return fmt.Errorf("ingest: read host dir %s: %w", host, err)
-	}
-	var (
-		prevFlat   []uint64
-		prevLayout *taccstats.Layout
-		prevTime   int64
-		havePrev   bool
-		plan       *metricPlan
-	)
-	for _, fe := range sortedRawFiles(files) {
-		path := filepath.Join(dir, host, fe.Name())
-		fh, err := os.Open(path)
-		if err != nil {
-			return fmt.Errorf("ingest: open %s: %w", path, err)
-		}
-		_, err = taccstats.ParseStream(fh, func(rec *taccstats.Record) error {
-			lay := rec.Layout()
-			cur := rec.Flat()
-			if havePrev {
-				if dt := float64(rec.Time - prevTime); dt > 0 {
-					if !plan.valid(prevLayout, lay) {
-						plan = compilePlan(prevLayout, lay)
-					}
-					emit(prevTime, rec.Time, computeIntervalPlan(plan, prevFlat, cur, dt))
-				}
-			}
-			prevFlat = append(prevFlat[:0], cur...)
-			prevLayout = lay
-			prevTime = rec.Time
-			havePrev = true
-			return nil
-		})
-		fh.Close()
-		if err != nil {
-			return fmt.Errorf("ingest: parse %s: %w", path, err)
-		}
-	}
-	return nil
 }

@@ -1,7 +1,6 @@
 package ingest
 
 import (
-	"fmt"
 	"os"
 	"sort"
 	"strconv"
@@ -24,6 +23,9 @@ type RawResult struct {
 	// Unattributed counts intervals that matched no accounting window
 	// (idle nodes or clock skew); reported, not silently dropped.
 	Unattributed int
+	// Quality accounts for everything degraded-mode ingest dropped,
+	// repaired, or retried; zero (plus FilesScanned) on clean archives.
+	Quality DataQuality
 }
 
 // IngestRaw parses every raw TACC_Stats file under dir (layout:
@@ -33,28 +35,18 @@ type RawResult struct {
 //
 // Files stream through the schema-compiled fast path: records are
 // reduced to Intervals as they are parsed, so peak memory per host is
-// two flat records rather than a materialized file.
+// two flat records rather than a materialized file. IngestRaw keeps the
+// legacy strict policy (abort on the first fault); IngestRawOpts exposes
+// the lenient degraded-mode path.
 func IngestRaw(dir string, acct []sched.AcctRecord) (*RawResult, error) {
-	windowsByHost, identities := indexAccounting(acct)
+	return IngestRawOpts(dir, acct, Options{Policy: Strict})
+}
 
-	hostDirs, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("ingest: read raw dir: %w", err)
-	}
-	acc := NewAccumulator()
-	buckets := make(map[int64]*sysBucket)
-	unattributed := 0
-
-	for _, hd := range sortedDirs(hostDirs) {
-		host := hd.Name()
-		windows := windowsByHost[host]
-		err := streamHost(dir, host, func(prevTime, curTime int64, iv Interval) {
-			unattributed += foldInterval(acc, buckets, windows, identities, prevTime, curTime, iv)
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
+// finalize turns the accumulated state into the RawResult: every
+// accounting job is finished (zero-metric records for jobs that
+// contributed no intervals), in sorted job order.
+func finalize(acc *Accumulator, identities map[int64]store.JobRecord,
+	buckets map[int64]*sysBucket, unattributed int, quality *DataQuality) (*RawResult, error) {
 
 	st := store.New()
 	ids := make([]int64, 0, len(identities))
@@ -73,9 +65,18 @@ func IngestRaw(dir string, acct []sched.AcctRecord) (*RawResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		if rec.Samples == 0 {
+			// Too short to sample, or starved because its host files
+			// were quarantined; either way the completeness view must
+			// know, so Unattributed and Quality never silently disagree.
+			quality.JobsNoData++
+		}
 		st.Add(rec)
 	}
-	return &RawResult{Store: st, Series: flattenBuckets(buckets), Unattributed: unattributed}, nil
+	return &RawResult{
+		Store: st, Series: flattenBuckets(buckets),
+		Unattributed: unattributed, Quality: *quality,
+	}, nil
 }
 
 // indexAccounting builds per-host occupancy windows and the identity

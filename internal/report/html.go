@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"supremm/internal/core"
+	"supremm/internal/ingest"
 )
 
 // HTMLDashboard writes a single self-contained HTML page — the
@@ -13,6 +14,13 @@ import (
 // cluster, the vector figures inline, and the cross-system table.
 // Everything is embedded; the file opens offline in any browser.
 func HTMLDashboard(w io.Writer, realms ...*core.Realm) error {
+	return HTMLDashboardQuality(w, nil, realms...)
+}
+
+// HTMLDashboardQuality is HTMLDashboard plus a data-completeness
+// section rendered from the ingest quality report; nil q omits the
+// section (the simulate path has no quality report to show).
+func HTMLDashboardQuality(w io.Writer, q *ingest.DataQuality, realms ...*core.Realm) error {
 	if len(realms) == 0 {
 		return fmt.Errorf("report: dashboard needs at least one realm")
 	}
@@ -67,9 +75,39 @@ figure { display: inline-block; margin: 8px; border: 1px solid #eee; }
 		}
 		b.WriteString("</table>\n")
 	}
+	if q != nil {
+		htmlQualitySection(&b, q)
+	}
 	b.WriteString("</body></html>\n")
 	_, err := w.Write(b.Bytes())
 	return err
+}
+
+// htmlQualitySection renders the ingest quality report as dashboard
+// tiles plus the quarantine table — the web-UI twin of DataCompleteness.
+func htmlQualitySection(b *bytes.Buffer, q *ingest.DataQuality) {
+	b.WriteString("<h2>data completeness</h2>\n<div class=\"tiles\">\n")
+	tile := func(value, key string) {
+		fmt.Fprintf(b, `<div class="tile"><div class="v">%s</div><div class="k">%s</div></div>`+"\n",
+			svgEscape(value), svgEscape(key))
+	}
+	tile(fmt.Sprintf("%.1f%%", q.Completeness()*100),
+		fmt.Sprintf("of %d files ingested", q.FilesScanned))
+	tile(fmt.Sprintf("%d", q.FilesQuarantined), "files quarantined")
+	tile(fmt.Sprintf("%d", q.RecordsDropped), "records dropped")
+	tile(fmt.Sprintf("%d", q.ResetsDetected), "counter resets")
+	tile(fmt.Sprintf("%d", q.IntervalsClamped), "intervals clamped")
+	tile(fmt.Sprintf("%d", q.JobsNoData), "jobs without data")
+	b.WriteString("</div>\n")
+	if len(q.Quarantined) == 0 {
+		return
+	}
+	b.WriteString("<table><tr><th>host</th><th>file</th><th>reason</th></tr>\n")
+	for _, qf := range q.Quarantined {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			svgEscape(qf.Host), svgEscape(qf.File), svgEscape(qf.Reason))
+	}
+	b.WriteString("</table>\n")
 }
 
 // htmlInline adapts the SVGFigures writer contract to in-page embedding.

@@ -8,7 +8,10 @@ import (
 	"path/filepath"
 	"reflect"
 	"strconv"
+	"strings"
 	"testing"
+
+	"supremm/internal/faultinject"
 )
 
 var updateCorpus = flag.Bool("update-corpus", false,
@@ -37,7 +40,7 @@ func fuzzSeedCorpus(tb testing.TB) [][]byte {
 		tb.Fatal(err)
 	}
 	header := "$tacc_stats 2.0\n$hostname h\n$arch a\n!cpu user,E,U=cs idle,E\n"
-	return [][]byte{
+	seeds := [][]byte{
 		buf.Bytes(),
 		[]byte(header + "100 rotate\ncpu 0 1 2\n\n200\ncpu 0 3 4\n"),
 		[]byte(header + "cpu 0 1 2\n"),
@@ -52,6 +55,53 @@ func fuzzSeedCorpus(tb testing.TB) [][]byte {
 		[]byte("$loner\n"),
 		[]byte(header + "100\ncpu 0\n"),
 	}
+	return append(seeds, injectedSeeds(tb)...)
+}
+
+// injectedSeeds runs the fault injector over a minimal clean archive
+// and returns the parse-breaking files it produced (garbled line,
+// mid-line truncation), so the fuzzer starts from the injector's real
+// corruption shapes rather than hand-written approximations. The
+// injector is byte-deterministic, so these seeds are stable.
+func injectedSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	src := filepath.Join(tb.TempDir(), "src")
+	header := "$tacc_stats 2.0\n$hostname h\n$arch a\n!cpu user,E,U=cs idle,E\n"
+	for _, host := range []string{"h0", "h1"} {
+		dir := filepath.Join(src, host)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			tb.Fatal(err)
+		}
+		for day := 0; day < 2; day++ {
+			var sb strings.Builder
+			sb.WriteString(header)
+			for rec := 0; rec < 3; rec++ {
+				fmt.Fprintf(&sb, "%d\ncpu 0 %d %d\n", 1000+86400*day+600*rec, rec*5, rec*7)
+			}
+			name := filepath.Join(dir, fmt.Sprintf("%d.raw", day+1))
+			if err := os.WriteFile(name, []byte(sb.String()), 0o644); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	dst := filepath.Join(tb.TempDir(), "dst")
+	m, err := faultinject.Inject(src, dst, faultinject.Spec{
+		Seed:     7,
+		HostFrac: 1,
+		Kinds:    []faultinject.Kind{faultinject.KindGarble, faultinject.KindTruncate},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var seeds [][]byte
+	for _, f := range m.Faults {
+		b, err := os.ReadFile(filepath.Join(dst, f.Host, f.File))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, b)
+	}
+	return seeds
 }
 
 // corpusEntry renders one seed in the `go test fuzz v1` corpus file
