@@ -1,7 +1,7 @@
 # Convenience targets for the SUPReMM reproduction.
 GO ?= go
 
-.PHONY: all build test test-race vet lint fuzz-smoke test-faults bench bench-ingest figures dashboard clean
+.PHONY: all build test test-race vet lint fuzz-smoke test-faults test-serve bench bench-ingest bench-serve figures dashboard clean
 
 all: build vet lint test test-race
 
@@ -29,6 +29,12 @@ test-faults:
 	$(GO) test -race -run 'Degrad|Fault|Flaky|Inject|Polic|Quarantine|Retr|Skew|Quality|Truncate' \
 		./internal/faultinject ./internal/ingest ./cmd/ingest ./cmd/taccstatsd
 
+# Query-daemon suite: race-detector HTTP tests (concurrent queries vs
+# hot reload), the simulate→ingest→supremmd golden harness, the fuzz
+# seed corpus replay, and the indexed-vs-scan speedup floor.
+test-serve:
+	$(GO) test -race ./internal/serve ./cmd/supremmd
+
 test:
 	$(GO) test ./...
 
@@ -44,6 +50,13 @@ bench:
 bench-ingest:
 	$(GO) test -run '^$$' -bench 'BenchmarkParseFile|BenchmarkParseStream|BenchmarkIngestRaw' -benchmem \
 		./internal/taccstats ./internal/ingest | tee BENCH_ingest.txt
+
+# Query-daemon aggregation benchmarks: store scan vs indexed/sharded,
+# HTTP cold vs cached; recorded in EXPERIMENTS.md. The indexed-vs-scan
+# ratio backs the >=5x acceptance criterion.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeAggregate|BenchmarkStoreSelect' -benchmem \
+		./internal/serve ./internal/store | tee BENCH_serve.txt
 
 # Render every paper figure as text plus vector/HTML artifacts.
 figures:

@@ -1,0 +1,121 @@
+// Command supremmd is the query-serving daemon: the XDMoD-style
+// analytics service over an ingested data directory, exposing the
+// store/core/report query surface as an HTTP JSON API (see DESIGN.md
+// §10 and the README endpoint table).
+//
+//	supremmd -data ./out/pipeline -addr :8090
+//
+// The daemon polls the data directory (-poll) and hot-reloads when a
+// new ingest batch lands; POST /api/v1/reload forces it. SIGINT/SIGTERM
+// drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"supremm/internal/serve"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "data", "ingested data directory (jobs.jsonl, series.jsonl, quality.json)")
+		addr    = flag.String("addr", "127.0.0.1:8090", "listen address")
+		poll    = flag.Duration("poll", 10*time.Second, "data-directory poll interval for hot reload (0 disables)")
+		cache   = flag.Int("cache", 0, "query-cache entries (0 = default 1024, negative disables)")
+		workers = flag.Int("workers", 0, "aggregation workers (0 = GOMAXPROCS)")
+		retries = flag.Int("retries", 2, "retries per snapshot load racing an ingest rewrite")
+		drain   = flag.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *data, *addr, *poll, *drain, *cache, *workers, *retries, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "supremmd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled and the
+// listener has drained. ready, when non-nil, receives the bound
+// address once the listener is up (tests use it).
+func run(ctx context.Context, data, addr string, poll, drain time.Duration,
+	cache, workers, retries int, ready func(addr string)) error {
+
+	srv, err := serve.New(serve.Config{
+		DataDir:   data,
+		Workers:   workers,
+		CacheSize: cache,
+		RetryMax:  retries,
+		Backoff: func(attempt int) {
+			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+		},
+		Now: time.Now,
+	})
+	if err != nil {
+		return err
+	}
+	snap := srv.Snapshot()
+	fmt.Fprintf(os.Stderr, "supremmd: serving %s (%d jobs, cluster %s, generation %d) on %s\n",
+		data, snap.Realm.Store.Len(), snap.Realm.Cluster, snap.Gen, addr)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	pollDone := make(chan struct{})
+	if poll > 0 {
+		go func() {
+			defer close(pollDone)
+			t := time.NewTicker(poll)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					reloaded, err := srv.MaybeReload()
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "supremmd: reload:", err)
+					} else if reloaded {
+						s := srv.Snapshot()
+						fmt.Fprintf(os.Stderr, "supremmd: reloaded %s (%d jobs, generation %d)\n",
+							data, s.Realm.Store.Len(), s.Gen)
+					}
+				}
+			}
+		}()
+	} else {
+		close(pollDone)
+	}
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "supremmd: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err = httpSrv.Shutdown(shutdownCtx)
+	<-pollDone
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}

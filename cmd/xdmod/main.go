@@ -13,19 +13,17 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
-	"io/fs"
 	"os"
 	"path/filepath"
 
 	"supremm/internal/anomaly"
-	"supremm/internal/cluster"
 	"supremm/internal/core"
 	"supremm/internal/ingest"
 	"supremm/internal/report"
 	"supremm/internal/sched"
+	"supremm/internal/serve"
 	"supremm/internal/store"
 )
 
@@ -58,49 +56,10 @@ func main() {
 	}
 }
 
+// loadRealm delegates to the serve loader so the CLI and the daemon
+// assemble realms identically (cluster-shape inference included).
 func loadRealm(dir string) (*core.Realm, error) {
-	jf, err := os.Open(filepath.Join(dir, "jobs.jsonl"))
-	if err != nil {
-		return nil, err
-	}
-	defer jf.Close()
-	st, err := store.Load(jf)
-	if err != nil {
-		return nil, err
-	}
-	var series []store.SystemSample
-	if sf, err := os.Open(filepath.Join(dir, "series.jsonl")); err == nil {
-		defer sf.Close()
-		series, err = store.LoadSeries(sf)
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Infer the cluster shape from the records.
-	name := "unknown"
-	if st.Len() > 0 {
-		name = st.Record(0).Cluster
-	}
-	cc := cluster.RangerConfig()
-	if name == "lonestar4" {
-		cc = cluster.Lonestar4Config()
-	}
-	// Node count from the series (active-node peak) keeps the peak-TF
-	// scale honest for scaled runs.
-	nodes := cc.Nodes
-	if len(series) > 0 {
-		peak := 0
-		for _, s := range series {
-			if s.ActiveNodes > peak {
-				peak = s.ActiveNodes
-			}
-		}
-		if peak > 0 {
-			nodes = peak
-		}
-	}
-	cc = cc.Scaled(nodes)
-	return core.NewRealm(name, cc.CoresPerNode(), cc.MemPerNodeGB, cc.PeakTFlops(), st, series), nil
+	return serve.LoadRealm(dir)
 }
 
 // runSuite renders one stakeholder's full report set (§4.3), with the
@@ -122,11 +81,7 @@ func runSuite(dir, who string) error {
 // missing file is not an error (cmd/simulate writes none), it just
 // means no completeness section.
 func loadQuality(dir string) (*ingest.DataQuality, error) {
-	q, err := ingest.LoadQuality(filepath.Join(dir, "quality.json"))
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
-	}
-	return q, err
+	return serve.LoadQuality(dir)
 }
 
 // runQuery executes a custom report (the §4.3 "custom reports" path).

@@ -37,9 +37,13 @@ func Analyzers() []Scoped {
 		},
 		{
 			// The deterministic core: same (config, seed) in, bit-identical
-			// artifacts out.
+			// artifacts out. internal/serve joins the scope because its
+			// golden responses must not depend on the wall clock — the
+			// daemon takes an injected clock (Config.Now) and the real
+			// time.Now lives only in cmd/supremmd.
 			Analyzer: walltime.Analyzer,
-			PkgMatch: pkgIn("supremm/internal/sim", "supremm/internal/workload", "supremm/internal/ingest"),
+			PkgMatch: pkgIn("supremm/internal/sim", "supremm/internal/workload", "supremm/internal/ingest",
+				"supremm/internal/serve"),
 		},
 		{
 			// Reproducibility is a whole-tree property: any package drawing
@@ -64,11 +68,15 @@ func Analyzers() []Scoped {
 			// The artifact emitters (report renderers, cmd tools writing
 			// figures and warehouse files) plus the degraded-mode ingest
 			// and fault injector: quarantine and retry decisions hinge on
-			// seeing every I/O error, so none may be dropped there.
+			// seeing every I/O error, so none may be dropped there. The
+			// query daemon is a sink too: a dropped response-write error
+			// would silently truncate API replies, so internal/serve must
+			// check every write (failures feed its write_failures metric).
 			Analyzer: errsink.Analyzer,
 			PkgMatch: func(pkgPath string) bool {
 				switch pkgPath {
-				case "supremm/internal/report", "supremm/internal/ingest", "supremm/internal/faultinject":
+				case "supremm/internal/report", "supremm/internal/ingest", "supremm/internal/faultinject",
+					"supremm/internal/serve":
 					return true
 				}
 				return strings.HasPrefix(pkgPath, "supremm/cmd/")

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(cacheKey(1, fmt.Sprintf("/p%d", i), ""), cacheEntry{body: []byte{byte(i)}})
+	}
+	// Touch p0 so p1 becomes the eviction victim.
+	if _, ok := c.Get(cacheKey(1, "/p0", "")); !ok {
+		t.Fatal("p0 missing before eviction")
+	}
+	c.Put(cacheKey(1, "/p3", ""), cacheEntry{body: []byte{3}})
+	if _, ok := c.Get(cacheKey(1, "/p1", "")); ok {
+		t.Fatal("LRU victim p1 survived eviction")
+	}
+	for _, p := range []string{"/p0", "/p2", "/p3"} {
+		if _, ok := c.Get(cacheKey(1, p, "")); !ok {
+			t.Fatalf("%s evicted unexpectedly", p)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache len %d, want 3", c.Len())
+	}
+}
+
+func TestCachePurgeGeneration(t *testing.T) {
+	c := newCache(10)
+	c.Put(cacheKey(1, "/a", "x=1"), cacheEntry{body: []byte("old")})
+	c.Put(cacheKey(2, "/a", "x=1"), cacheEntry{body: []byte("new")})
+	c.PurgeGeneration(1)
+	if _, ok := c.Get(cacheKey(1, "/a", "x=1")); ok {
+		t.Fatal("generation-1 entry survived purge")
+	}
+	if e, ok := c.Get(cacheKey(2, "/a", "x=1")); !ok || string(e.body) != "new" {
+		t.Fatal("generation-2 entry lost by purge")
+	}
+	// g1 prefix must not purge g11 (prefix includes the separator).
+	c.Put(cacheKey(11, "/b", ""), cacheEntry{body: []byte("g11")})
+	c.PurgeGeneration(1)
+	if _, ok := c.Get(cacheKey(11, "/b", "")); !ok {
+		t.Fatal("purging generation 1 removed generation 11")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newCache(0)
+	c.Put("k", cacheEntry{body: []byte("v")})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("disabled cache stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheUpdateInPlace(t *testing.T) {
+	c := newCache(2)
+	c.Put("k", cacheEntry{body: []byte("v1")})
+	c.Put("k", cacheEntry{body: []byte("v2")})
+	if c.Len() != 1 {
+		t.Fatalf("duplicate Put grew the cache to %d", c.Len())
+	}
+	if e, _ := c.Get("k"); string(e.body) != "v2" {
+		t.Fatalf("Put did not update in place: %q", e.body)
+	}
+}

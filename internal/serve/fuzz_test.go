@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fuzzServer is shared across fuzz iterations; building a snapshot per
+// input would drown the fuzzer in setup.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzServer(t testing.TB) *Server {
+	fuzzOnce.Do(func() {
+		dir := t.TempDir()
+		writeDataDir(t, dir, fixtureStore(30), fixtureSeries(8), nil)
+		srv, err := New(Config{DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzSrv = srv
+	})
+	return fuzzSrv
+}
+
+// fuzzPaths cycle through every parameterized endpoint so each corpus
+// entry exercises each decoder scope.
+var fuzzPaths = []string{
+	"/api/v1/aggregate",
+	"/api/v1/distribution",
+	"/api/v1/query",
+	"/api/v1/profiles/users",
+	"/api/v1/profiles/apps",
+	"/api/v1/efficiency",
+	"/api/v1/trends",
+	"/api/v1/workload",
+	"/api/v1/report",
+}
+
+// FuzzQueryParams feeds raw query strings through both the parameter
+// decoder and the full HTTP stack. Malformed input must come back as a
+// 4xx — never a panic, never a 5xx.
+func FuzzQueryParams(f *testing.F) {
+	seeds := []string{
+		"",
+		"metric=cpu_idle",
+		"metric=cpu_flops&app=namd&user=u01",
+		"metrics=cpu_idle,cpu_flops,mem_used&group=app&limit=5",
+		"group=science&normalize=true",
+		"metric=mem_used&bins=8&minsamples=2",
+		"n=3&min_nodehours=10.5",
+		"apps=namd,amber,gromacs",
+		"suite=manager",
+		"endafter=100&endbefore=200&status=completed&cluster=ranger&science=Physics",
+		// Hostile shapes.
+		"metric=cpu_idle&metric=cpu_idle",
+		"metric=%00%ff",
+		"limit=-999999999999999999999",
+		"bins=1e309",
+		"minsamples=0x10",
+		"n=+-5",
+		"group=;drop",
+		"metrics=" + strings.Repeat("cpu_idle,", 500),
+		strings.Repeat("a", 4096) + "=1",
+		"%zz=%zz&==&&&;;;",
+		"normalize=TRUE\x00",
+		"min_nodehours=NaN",
+		"min_nodehours=Inf",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	srv := fuzzServer(f)
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err == nil {
+			// The decoder must classify, never panic, for any parsed
+			// query under any endpoint's allowlist.
+			_, _ = decodeParams(q, allParamKeys...)
+			_, _ = decodeParams(q, "metric", "cluster")
+		}
+
+		path := fuzzPaths[len(raw)%len(fuzzPaths)]
+		target := path
+		if raw != "" {
+			target += "?" + raw
+		}
+		req, err := http.NewRequest(http.MethodGet, target, nil)
+		if err != nil {
+			return // unencodable as a request-line; nothing to serve
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("GET %s: status %d: %s", target, rec.Code, rec.Body.String())
+		}
+		if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+			t.Fatalf("GET %s: unexpected status %d", target, rec.Code)
+		}
+	})
+}

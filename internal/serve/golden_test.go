@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"supremm/internal/cluster"
+	"supremm/internal/ingest"
+	"supremm/internal/sched"
+	"supremm/internal/sim"
+	"supremm/internal/store"
+)
+
+// update regenerates the committed golden responses:
+//
+//	go test ./internal/serve -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSeed pins the end-to-end corpus. Changing it (or anything in
+// the simulate→ingest chain) is a deliberate act recorded by the
+// golden-file diff.
+const goldenSeed = 7
+
+// goldenTargets are the pinned API requests. Each response must be
+// byte-stable for the pinned seed, run after run, machine after
+// machine.
+var goldenTargets = []string{
+	"/api/v1/health",
+	"/api/v1/aggregate?metric=cpu_idle",
+	"/api/v1/aggregate?metric=cpu_flops&app=namd",
+	"/api/v1/aggregate?metric=mem_used&minsamples=2",
+	"/api/v1/distribution?metric=mem_used&bins=8",
+	"/api/v1/query?group=app&metrics=cpu_idle,cpu_flops&limit=5",
+	"/api/v1/query?group=science&normalize=true",
+	"/api/v1/profiles/users?n=3",
+	"/api/v1/profiles/apps?apps=namd,amber",
+	"/api/v1/efficiency?n=3",
+	"/api/v1/trends",
+	"/api/v1/workload",
+	"/api/v1/quality",
+	"/api/v1/report?suite=manager",
+}
+
+// buildGoldenData runs the full pipeline in-process: simulate a small
+// ranger with raw TACC_Stats archives, round-trip the accounting log
+// through its file format, ingest the archives, and write the data
+// directory the daemon loads — the same byte path production takes.
+func buildGoldenData(t testing.TB, root string) string {
+	t.Helper()
+	rawDir := filepath.Join(root, "raw")
+	cfg := sim.DefaultConfig(cluster.RangerConfig().Scaled(32), goldenSeed)
+	cfg.DurationMin = 4 * 24 * 60
+	cfg.RawDir = rawDir
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Accounting goes through its wire format, as cmd/ingest reads it.
+	acctPath := filepath.Join(root, "accounting.log")
+	af, err := os.Create(acctPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.WriteAcct(af, res.Acct); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(acctPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct, err := sched.ReadAcct(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ing, err := ingest.IngestRawOpts(rawDir, acct, ingest.Options{Policy: ingest.Lenient, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(root, "data")
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeStoreFile(t, filepath.Join(dataDir, "jobs.jsonl"), ing.Store)
+	writeSeriesFile(t, filepath.Join(dataDir, "series.jsonl"), ing.Series)
+	if err := ingest.SaveQuality(filepath.Join(dataDir, "quality.json"), &ing.Quality); err != nil {
+		t.Fatal(err)
+	}
+	return dataDir
+}
+
+func writeStoreFile(t testing.TB, path string, st *store.Store) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeSeriesFile(t testing.TB, path string, series []store.SystemSample) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveSeries(f, series); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// goldenFileName maps an API target to its committed file.
+func goldenFileName(target string) string {
+	name := strings.TrimPrefix(target, "/api/v1/")
+	r := strings.NewReplacer("/", "_", "?", ".", "&", ".", "=", "-", ",", "+")
+	return r.Replace(name) + ".golden"
+}
+
+func fetchAll(t testing.TB, srv *Server) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(goldenTargets))
+	for _, target := range goldenTargets {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", target, rec.Code, rec.Body.String())
+		}
+		out[target] = rec.Body.Bytes()
+	}
+	return out
+}
+
+// TestGoldenEndToEnd pins the full pipeline: simulate → raw archives →
+// ingest → supremmd responses, compared byte-for-byte against the
+// committed golden files, and re-run from scratch to prove the chain
+// is bit-stable.
+func TestGoldenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	dataDir := buildGoldenData(t, t.TempDir())
+	srv := newTestServer(t, dataDir)
+	got := fetchAll(t, srv)
+
+	if *update {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range goldenTargets {
+			path := filepath.Join("testdata", "golden", goldenFileName(target))
+			if err := os.WriteFile(path, got[target], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d golden files", len(goldenTargets))
+		return
+	}
+
+	for _, target := range goldenTargets {
+		path := filepath.Join("testdata", "golden", goldenFileName(target))
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate)", target, err)
+		}
+		if !bytes.Equal(got[target], want) {
+			t.Errorf("%s: response differs from %s (run with -update after intentional changes)\ngot:\n%s\nwant:\n%s",
+				target, path, clip(got[target]), clip(want))
+		}
+	}
+
+	// Second full pipeline run from scratch: every byte must repeat.
+	dataDir2 := buildGoldenData(t, t.TempDir())
+	srv2 := newTestServer(t, dataDir2)
+	again := fetchAll(t, srv2)
+	for _, target := range goldenTargets {
+		if !bytes.Equal(got[target], again[target]) {
+			t.Errorf("%s: two pipeline runs disagree — the chain is not deterministic", target)
+		}
+	}
+}
+
+func clip(b []byte) string {
+	const max = 2000
+	if len(b) > max {
+		return string(b[:max]) + fmt.Sprintf("... (%d more bytes)", len(b)-max)
+	}
+	return string(b)
+}

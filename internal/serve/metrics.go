@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMicros are the upper bounds (µs) of the request-latency
+// histogram, expvar-style cumulative-free buckets plus an implicit
+// overflow bucket.
+var latencyBucketsMicros = []int64{
+	100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+	100000, 250000, 500000, 1000000,
+}
+
+// Metrics is the daemon's instrumentation: per-endpoint request counts,
+// status-class counters, a latency histogram, and reload accounting.
+// Cache hit/miss and store generation are reported alongside from their
+// owners at render time. All counters are atomics so handlers never
+// serialize on a metrics lock.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]*atomic.Int64
+
+	status2xx atomic.Int64
+	status4xx atomic.Int64
+	status5xx atomic.Int64
+
+	latencyCounts   []atomic.Int64 // len(latencyBucketsMicros)+1, last = overflow
+	latencyTotalUS  atomic.Int64
+	latencyObserved atomic.Int64
+
+	reloads       atomic.Int64
+	reloadErrors  atomic.Int64
+	requestsTotal atomic.Int64
+	// writeFailures counts responses whose body write failed (client
+	// gone mid-response).
+	writeFailures atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		requests:      make(map[string]*atomic.Int64),
+		latencyCounts: make([]atomic.Int64, len(latencyBucketsMicros)+1),
+	}
+}
+
+// endpoint returns the request counter for a route, creating it on
+// first use.
+func (m *Metrics) endpoint(path string) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.requests[path]
+	if !ok {
+		c = &atomic.Int64{}
+		m.requests[path] = c
+	}
+	return c
+}
+
+// observe records one finished request.
+func (m *Metrics) observe(path string, status int, elapsed time.Duration) {
+	m.requestsTotal.Add(1)
+	m.endpoint(path).Add(1)
+	switch {
+	case status >= 500:
+		m.status5xx.Add(1)
+	case status >= 400:
+		m.status4xx.Add(1)
+	default:
+		m.status2xx.Add(1)
+	}
+	if elapsed <= 0 {
+		return // no clock injected (deterministic tests)
+	}
+	us := elapsed.Microseconds()
+	m.latencyTotalUS.Add(us)
+	m.latencyObserved.Add(1)
+	for i, hi := range latencyBucketsMicros {
+		if us <= hi {
+			m.latencyCounts[i].Add(1)
+			return
+		}
+	}
+	m.latencyCounts[len(latencyBucketsMicros)].Add(1)
+}
+
+// metricsDTO is the /metrics response body.
+type metricsDTO struct {
+	StoreGeneration uint64           `json:"store_generation"`
+	Jobs            int              `json:"jobs"`
+	RequestsTotal   int64            `json:"requests_total"`
+	Requests        map[string]int64 `json:"requests_by_endpoint"`
+	Status2xx       int64            `json:"responses_2xx"`
+	Status4xx       int64            `json:"responses_4xx"`
+	Status5xx       int64            `json:"responses_5xx"`
+	CacheHits       int64            `json:"cache_hits"`
+	CacheMisses     int64            `json:"cache_misses"`
+	CacheHitRatio   F                `json:"cache_hit_ratio"`
+	CacheEntries    int              `json:"cache_entries"`
+	Reloads         int64            `json:"reloads"`
+	ReloadErrors    int64            `json:"reload_errors"`
+	WriteFailures   int64            `json:"write_failures"`
+	Latency         latencyDTO       `json:"latency"`
+}
+
+type latencyDTO struct {
+	Observed    int64           `json:"observed"`
+	TotalMicros int64           `json:"total_us"`
+	MeanMicros  F               `json:"mean_us"`
+	Buckets     []latencyBucket `json:"buckets"`
+}
+
+type latencyBucket struct {
+	LeMicros int64 `json:"le_us"` // 0 on the overflow bucket
+	Count    int64 `json:"count"`
+}
+
+// snapshotDTO renders the current counter values.
+func (m *Metrics) snapshotDTO(gen uint64, jobs int, cache *Cache) metricsDTO {
+	hits, misses := cache.Stats()
+	dto := metricsDTO{
+		StoreGeneration: gen,
+		Jobs:            jobs,
+		RequestsTotal:   m.requestsTotal.Load(),
+		Requests:        make(map[string]int64),
+		Status2xx:       m.status2xx.Load(),
+		Status4xx:       m.status4xx.Load(),
+		Status5xx:       m.status5xx.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEntries:    cache.Len(),
+		Reloads:         m.reloads.Load(),
+		ReloadErrors:    m.reloadErrors.Load(),
+		WriteFailures:   m.writeFailures.Load(),
+	}
+	if total := hits + misses; total > 0 {
+		dto.CacheHitRatio = F(float64(hits) / float64(total))
+	}
+	m.mu.Lock()
+	paths := make([]string, 0, len(m.requests))
+	for p := range m.requests {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		dto.Requests[p] = m.requests[p].Load()
+	}
+	m.mu.Unlock()
+	dto.Latency.Observed = m.latencyObserved.Load()
+	dto.Latency.TotalMicros = m.latencyTotalUS.Load()
+	if dto.Latency.Observed > 0 {
+		dto.Latency.MeanMicros = F(float64(dto.Latency.TotalMicros) / float64(dto.Latency.Observed))
+	}
+	for i := range m.latencyCounts {
+		b := latencyBucket{Count: m.latencyCounts[i].Load()}
+		if i < len(latencyBucketsMicros) {
+			b.LeMicros = latencyBucketsMicros[i]
+		}
+		dto.Latency.Buckets = append(dto.Latency.Buckets, b)
+	}
+	return dto
+}

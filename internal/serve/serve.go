@@ -1,0 +1,427 @@
+// Package serve is the query-serving layer of the reproduction: the
+// XDMoD-style HTTP JSON API (cmd/supremmd) over an ingested data
+// directory. It holds the warehouse in immutable, atomically swapped
+// snapshots (indexed store + realm + quality report), caches rendered
+// responses keyed by store generation, and instruments itself with an
+// expvar-style /metrics endpoint. See DESIGN.md §10.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"supremm/internal/core"
+	"supremm/internal/report"
+	"supremm/internal/stats"
+	"supremm/internal/store"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DataDir is the ingested data directory (jobs.jsonl, series.jsonl,
+	// optional quality.json).
+	DataDir string
+	// Workers bounds the aggregation fan-out; 0 means GOMAXPROCS. The
+	// worker count never changes results (store.AggregateParallel).
+	Workers int
+	// CacheSize caps the query-result cache entries; 0 means the
+	// default (1024), negative disables caching.
+	CacheSize int
+	// RetryMax and Backoff carry the ingest retry idiom into snapshot
+	// loads: a load racing an ingest rewrite is retried rather than
+	// failed (see loadSnapshot).
+	RetryMax int
+	Backoff  func(attempt int)
+	// Now supplies the clock for latency metrics. The serve core never
+	// reads the wall clock itself (the walltime invariant); cmd/supremmd
+	// injects time.Now, tests inject fakes or nothing.
+	Now func() time.Time
+}
+
+const defaultCacheSize = 1024
+
+// Server is the query daemon: an http.Handler over the current
+// snapshot. Safe for concurrent use; Reload may run concurrently with
+// requests.
+type Server struct {
+	cfg     Config
+	workers int
+	mux     *http.ServeMux
+	// routeMethods maps exact route paths to their method, so the
+	// catch-all can answer 405 (the mux's own 405 is shadowed by the
+	// catch-all pattern).
+	routeMethods map[string]string
+	snap         atomic.Pointer[Snapshot]
+	lastGen      atomic.Uint64
+	cache        *Cache
+	met          *Metrics
+
+	// reloadMu serializes snapshot loads; queries never take it.
+	reloadMu sync.Mutex
+}
+
+// New loads the initial snapshot from cfg.DataDir and assembles the
+// routing table.
+func New(cfg Config) (*Server, error) {
+	s := &Server{cfg: cfg, workers: cfg.Workers, met: newMetrics()}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = defaultCacheSize
+	}
+	if size < 0 {
+		size = 0 // disabled
+	}
+	s.cache = newCache(size)
+	snap, err := loadSnapshot(cfg.DataDir, s.lastGen.Add(1), cfg.RetryMax, cfg.Backoff)
+	if err != nil {
+		return nil, err
+	}
+	s.snap.Store(snap)
+	s.routes()
+	return s, nil
+}
+
+// Snapshot returns the current snapshot (never nil after New).
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Reload loads a fresh snapshot from the data directory and swaps it
+// in. Concurrent queries keep using the old snapshot until the swap;
+// the old generation's cache entries are purged afterwards.
+func (s *Server) Reload() (*Snapshot, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	snap, err := loadSnapshot(s.cfg.DataDir, s.lastGen.Add(1), s.cfg.RetryMax, s.cfg.Backoff)
+	if err != nil {
+		s.met.reloadErrors.Add(1)
+		return nil, err
+	}
+	old := s.snap.Swap(snap)
+	s.met.reloads.Add(1)
+	if old != nil {
+		s.cache.PurgeGeneration(old.Gen)
+	}
+	return snap, nil
+}
+
+// MaybeReload reloads only if the data directory's fingerprint differs
+// from the loaded snapshot's — the poll step cmd/supremmd drives on a
+// ticker (fsnotify-free hot reload).
+func (s *Server) MaybeReload() (bool, error) {
+	if DirFingerprint(s.cfg.DataDir) == s.snap.Load().Fingerprint {
+		return false, nil
+	}
+	if _, err := s.Reload(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// route registers a handler under method+path and records the pair for
+// the catch-all's 405 handling.
+func (s *Server) route(method, path string, h http.HandlerFunc) {
+	s.routeMethods[path] = method
+	s.mux.HandleFunc(method+" "+path, h)
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.routeMethods = make(map[string]string)
+	s.route("GET", "/api/v1/health", s.instrument("/api/v1/health", s.handleHealth))
+	s.route("GET", "/metrics", s.instrument("/metrics", s.handleMetrics))
+	s.route("POST", "/api/v1/reload", s.instrument("/api/v1/reload", s.handleReload))
+	s.data("/api/v1/aggregate", append([]string{"metric"}, filterKeys...), s.aggregate)
+	s.data("/api/v1/distribution", append([]string{"metric", "bins"}, filterKeys...), s.distribution)
+	s.data("/api/v1/query", append([]string{"group", "metrics", "limit", "normalize"}, filterKeys...), s.query)
+	s.data("/api/v1/profiles/users", []string{"n"}, s.userProfiles)
+	s.data("/api/v1/profiles/apps", []string{"apps"}, s.appProfiles)
+	s.data("/api/v1/efficiency", []string{"limit", "n", "min_nodehours"}, s.efficiency)
+	s.data("/api/v1/trends", nil, s.trends)
+	s.data("/api/v1/workload", nil, s.workload)
+	s.data("/api/v1/quality", nil, s.quality)
+	s.text("/api/v1/report", []string{"suite"}, s.reportSuite)
+	s.mux.HandleFunc("/", s.instrument("other", func(w http.ResponseWriter, r *http.Request) int {
+		if method, ok := s.routeMethods[r.URL.Path]; ok && method != r.Method {
+			w.Header().Set("Allow", method)
+			return s.writeError(w, http.StatusMethodNotAllowed,
+				fmt.Errorf("%s requires %s", r.URL.Path, method))
+		}
+		return s.writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %q", r.URL.Path))
+	}))
+}
+
+// instrument wraps a handler with request counting and the latency
+// histogram. Handlers return the status code they wrote.
+func (s *Server) instrument(path string, fn func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		status := fn(w, r)
+		var elapsed time.Duration
+		if !start.IsZero() {
+			elapsed = s.now().Sub(start)
+		}
+		s.met.observe(path, status, elapsed)
+	}
+}
+
+func (s *Server) now() time.Time {
+	if s.cfg.Now == nil {
+		return time.Time{}
+	}
+	return s.cfg.Now()
+}
+
+// data registers a cached JSON GET endpoint: decode params, consult the
+// generation-keyed cache, compute, render, store.
+func (s *Server) data(path string, keys []string, fn func(*Snapshot, Params) (any, error)) {
+	s.route("GET", path, s.instrument(path, func(w http.ResponseWriter, r *http.Request) int {
+		return s.serveCached(w, r, path, keys, "application/json", func(snap *Snapshot, p Params) ([]byte, error) {
+			v, err := fn(snap, p)
+			if err != nil {
+				return nil, err
+			}
+			return marshalBody(v)
+		})
+	}))
+}
+
+// text registers a cached plain-text GET endpoint (the report suites).
+func (s *Server) text(path string, keys []string, fn func(*Snapshot, Params) ([]byte, error)) {
+	s.route("GET", path, s.instrument(path, func(w http.ResponseWriter, r *http.Request) int {
+		return s.serveCached(w, r, path, keys, "text/plain; charset=utf-8", fn)
+	}))
+}
+
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, path string, keys []string,
+	contentType string, render func(*Snapshot, Params) ([]byte, error)) int {
+
+	q := r.URL.Query()
+	p, err := decodeParams(q, keys...)
+	if err != nil {
+		return s.writeError(w, http.StatusBadRequest, err)
+	}
+	snap := s.snap.Load()
+	key := cacheKey(snap.Gen, path, q.Encode())
+	if e, ok := s.cache.Get(key); ok {
+		return s.writeBody(w, http.StatusOK, e.contentType, e.body)
+	}
+	body, err := render(snap, p)
+	if err != nil {
+		if _, ok := err.(*badRequestError); ok {
+			return s.writeError(w, http.StatusBadRequest, err)
+		}
+		return s.writeError(w, http.StatusInternalServerError, err)
+	}
+	s.cache.Put(key, cacheEntry{body: body, contentType: contentType})
+	return s.writeBody(w, http.StatusOK, contentType, body)
+}
+
+// badRequestError marks handler failures caused by the request itself.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, status int, contentType string, body []byte) int {
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		// The client went away mid-response; nothing can be sent to it,
+		// so the failure is only counted.
+		s.met.writeFailures.Add(1)
+	}
+	return status
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) int {
+	body, merr := marshalBody(map[string]string{"error": err.Error()})
+	if merr != nil {
+		body = []byte(`{"error":"internal error"}` + "\n")
+	}
+	return s.writeBody(w, status, "application/json", body)
+}
+
+// ---- endpoint handlers ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) int {
+	if _, err := decodeParams(r.URL.Query()); err != nil {
+		return s.writeError(w, http.StatusBadRequest, err)
+	}
+	snap := s.snap.Load()
+	body, err := marshalBody(healthDTO{
+		Status:     "ok",
+		Generation: snap.Gen,
+		Cluster:    snap.Realm.Cluster,
+		Jobs:       snap.Realm.Store.Len(),
+		Series:     len(snap.Realm.Series),
+		Indexed:    snap.Realm.Store.HasIndex(),
+	})
+	if err != nil {
+		return s.writeError(w, http.StatusInternalServerError, err)
+	}
+	return s.writeBody(w, http.StatusOK, "application/json", body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	snap := s.snap.Load()
+	body, err := marshalBody(s.met.snapshotDTO(snap.Gen, snap.Realm.Store.Len(), s.cache))
+	if err != nil {
+		return s.writeError(w, http.StatusInternalServerError, err)
+	}
+	return s.writeBody(w, http.StatusOK, "application/json", body)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
+	snap, err := s.Reload()
+	if err != nil {
+		return s.writeError(w, http.StatusInternalServerError, err)
+	}
+	body, err := marshalBody(map[string]any{
+		"generation": snap.Gen,
+		"jobs":       snap.Realm.Store.Len(),
+		"cluster":    snap.Realm.Cluster,
+	})
+	if err != nil {
+		return s.writeError(w, http.StatusInternalServerError, err)
+	}
+	return s.writeBody(w, http.StatusOK, "application/json", body)
+}
+
+// realmFilter applies the realm's cluster default, mirroring
+// core.Realm.RunQuery: a serve realm never leaks another cluster's
+// jobs unless the query names one explicitly.
+func realmFilter(snap *Snapshot, f store.Filter) store.Filter {
+	if f.Cluster == "" {
+		f.Cluster = snap.Realm.Cluster
+	}
+	return f
+}
+
+func (s *Server) aggregate(snap *Snapshot, p Params) (any, error) {
+	if p.Metric == "" {
+		return nil, badRequest("parameter metric is required")
+	}
+	f := realmFilter(snap, p.Filter)
+	return newAggDTO(p.Metric, snap.Realm.Store.AggregateParallel(p.Metric, f, s.workers)), nil
+}
+
+func (s *Server) distribution(snap *Snapshot, p Params) (any, error) {
+	if p.Metric == "" {
+		return nil, badRequest("parameter metric is required")
+	}
+	f := realmFilter(snap, p.Filter)
+	vals, _ := snap.Realm.Store.Values(p.Metric, f)
+	lo, hi := 0.0, 0.0
+	if len(vals) > 0 {
+		lo, hi = stats.MinMax(vals)
+	}
+	return newDistributionDTO(p.Metric, stats.NewHistogram(vals, lo, hi, p.Bins)), nil
+}
+
+func (s *Server) query(snap *Snapshot, p Params) (any, error) {
+	q := core.Query{
+		GroupBy:   p.Group,
+		Metrics:   p.Metrics,
+		Filter:    p.Filter,
+		Limit:     p.Limit,
+		Normalize: p.Normalize,
+	}
+	return newQueryDTO(snap.Realm.RunQuery(q)), nil
+}
+
+func (s *Server) userProfiles(snap *Snapshot, p Params) (any, error) {
+	return newProfileDTOs(snap.Realm.TopUserProfiles(p.N)), nil
+}
+
+func (s *Server) appProfiles(snap *Snapshot, p Params) (any, error) {
+	apps := p.Apps
+	if len(apps) == 0 {
+		apps = []string{"namd", "amber", "gromacs"} // the Fig 3 MD codes
+	}
+	return newProfileDTOs(snap.Realm.AppProfiles(apps)), nil
+}
+
+func (s *Server) efficiency(snap *Snapshot, p Params) (any, error) {
+	users := snap.Realm.EfficiencyReport()
+	if len(users) > p.Limit {
+		users = users[:p.Limit]
+	}
+	return efficiencyDTO{
+		Cluster:         snap.Realm.Cluster,
+		FleetEfficiency: F(snap.Realm.FleetEfficiency()),
+		WastedTotal:     F(snap.Realm.WastedNodeHoursTotal()),
+		Users:           newUserEffDTOs(users),
+		Worst:           newUserEffDTOs(snap.Realm.WorstUsers(p.N, p.MinNodeHours)),
+	}, nil
+}
+
+func (s *Server) trends(snap *Snapshot, _ Params) (any, error) {
+	out := []trendDTO{}
+	for _, t := range snap.Realm.TrendReport() {
+		out = append(out, trendDTO{
+			Metric: t.Metric, SlopePerDay: F(t.SlopePerDay),
+			RelativePerMonth: F(t.RelativePerMonth), P: F(t.P),
+			Significant: t.Significant, R2: F(t.R2), N: t.N,
+		})
+	}
+	return out, nil
+}
+
+func (s *Server) workload(snap *Snapshot, _ Params) (any, error) {
+	return newWorkloadDTO(snap.Realm.Cluster, snap.Realm.Characterize()), nil
+}
+
+func (s *Server) quality(snap *Snapshot, _ Params) (any, error) {
+	if snap.Quality == nil {
+		return map[string]any{"available": false}, nil
+	}
+	return map[string]any{
+		"available":    true,
+		"quality":      snap.Quality,
+		"completeness": F(snap.Quality.Completeness()),
+		"degraded":     snap.Quality.Degraded(),
+	}, nil
+}
+
+func (s *Server) reportSuite(snap *Snapshot, p Params) ([]byte, error) {
+	if p.Suite == "" {
+		return nil, badRequest("parameter suite is required")
+	}
+	valid := false
+	for _, who := range report.Stakeholders() {
+		if string(who) == p.Suite {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return nil, badRequest("unknown suite %q", p.Suite)
+	}
+	var buf bytes.Buffer
+	if err := report.SuiteWithQuality(&buf, report.Stakeholder(p.Suite), snap.Quality, snap.Realm); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"supremm/internal/ingest"
+	"supremm/internal/store"
+)
+
+// fixtureStore builds a small deterministic ranger store.
+func fixtureStore(n int) *store.Store {
+	st := store.New()
+	for i := 0; i < n; i++ {
+		r := store.JobRecord{
+			JobID:   int64(100 + i),
+			Cluster: "ranger",
+			User:    fmt.Sprintf("u%02d", i%7),
+			App:     []string{"namd", "amber", "gromacs", "wrf"}[i%4],
+			Science: []string{"Chemistry", "Physics"}[i%2],
+			Nodes:   1 + i%16,
+			Submit:  int64(1000 * i),
+			Start:   int64(1000*i + 120),
+			End:     int64(1000*i + 120 + 3600*(1+i%6)),
+			Status:  "completed",
+			Samples: 1 + i%4,
+		}
+		r.CPUIdleFrac = float64(i%10) / 10
+		r.MemUsedGB = float64(i % 13)
+		r.FlopsGF = 1.5 * float64(i%9)
+		st.Add(r)
+	}
+	return st
+}
+
+func fixtureSeries(n int) []store.SystemSample {
+	out := make([]store.SystemSample, n)
+	for i := range out {
+		out[i] = store.SystemSample{
+			Time:        int64(600 * (i + 1)),
+			ActiveNodes: 16,
+			BusyNodes:   8 + i%8,
+			TotalTFlops: 1 + float64(i%5),
+			MemPerNode:  8 + float64(i%3),
+			CPUIdleFrac: 0.1,
+		}
+	}
+	return out
+}
+
+// writeDataDir materializes a data directory for the daemon to load.
+func writeDataDir(t testing.TB, dir string, st *store.Store, series []store.SystemSample, q *ingest.DataQuality) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.Create(filepath.Join(dir, "jobs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(jf); err != nil {
+		t.Fatal(err)
+	}
+	if err := jf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := os.Create(filepath.Join(dir, "series.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveSeries(sf, series); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if q != nil {
+		if err := ingest.SaveQuality(filepath.Join(dir, "quality.json"), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func newTestServer(t testing.TB, dir string) *Server {
+	t.Helper()
+	srv, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// get performs one in-process request and returns status and body.
+func get(t testing.TB, srv *Server, target string) (int, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+	return rec.Code, rec.Body.Bytes()
+}
+
+func TestEndpointsBasic(t *testing.T) {
+	dir := t.TempDir()
+	writeDataDir(t, dir, fixtureStore(200), fixtureSeries(50),
+		&ingest.DataQuality{FilesScanned: 10, FilesQuarantined: 1})
+	srv := newTestServer(t, dir)
+
+	for _, target := range []string{
+		"/api/v1/health",
+		"/api/v1/aggregate?metric=cpu_idle",
+		"/api/v1/aggregate?metric=cpu_flops&user=u03&minsamples=2",
+		"/api/v1/distribution?metric=mem_used&bins=10",
+		"/api/v1/query?group=app&metrics=cpu_idle,cpu_flops&limit=3",
+		"/api/v1/query?group=science&normalize=true",
+		"/api/v1/profiles/users?n=3",
+		"/api/v1/profiles/apps?apps=namd,amber",
+		"/api/v1/efficiency?n=2&min_nodehours=1",
+		"/api/v1/trends",
+		"/api/v1/workload",
+		"/api/v1/quality",
+		"/api/v1/report?suite=support",
+		"/metrics",
+	} {
+		status, body := get(t, srv, target)
+		if status != http.StatusOK {
+			t.Errorf("%s: status %d, body %s", target, status, body)
+			continue
+		}
+		if !strings.Contains(target, "report") {
+			var v any
+			if err := json.Unmarshal(body, &v); err != nil {
+				t.Errorf("%s: invalid JSON: %v", target, err)
+			}
+		}
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	dir := t.TempDir()
+	writeDataDir(t, dir, fixtureStore(20), fixtureSeries(5), nil)
+	srv := newTestServer(t, dir)
+
+	for _, target := range []string{
+		"/api/v1/aggregate",                          // missing metric
+		"/api/v1/aggregate?metric=bogus",             // unknown metric
+		"/api/v1/aggregate?metric=cpu_idle&foo=1",    // unknown key
+		"/api/v1/aggregate?metric=cpu_idle&metric=x", // repeated key
+		"/api/v1/query?group=bogus",
+		"/api/v1/query?limit=0",
+		"/api/v1/query?limit=999999999",
+		"/api/v1/distribution?metric=cpu_idle&bins=-1",
+		"/api/v1/distribution?metric=cpu_idle&bins=100000",
+		"/api/v1/profiles/users?n=abc",
+		"/api/v1/efficiency?min_nodehours=-3",
+		"/api/v1/report",                // missing suite
+		"/api/v1/report?suite=nobody",   // unknown suite
+		"/api/v1/health?unexpected=1",   // health takes no params
+		"/api/v1/query?minsamples=-1",   // negative
+		"/api/v1/query?endafter=later",  // non-numeric
+		"/api/v1/query?normalize=maybe", // non-bool
+	} {
+		status, body := get(t, srv, target)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400), body %s", target, status, body)
+			continue
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body not JSON {error}: %s", target, body)
+		}
+	}
+
+	if status, _ := get(t, srv, "/api/v1/nothing"); status != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", status)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/v1/aggregate?metric=cpu_idle", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST to GET endpoint: status %d, want 405", rec.Code)
+	}
+}
+
+func TestCacheHitsAndGenerationInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	writeDataDir(t, dir, fixtureStore(100), fixtureSeries(10), nil)
+	srv := newTestServer(t, dir)
+
+	target := "/api/v1/aggregate?metric=cpu_idle"
+	_, first := get(t, srv, target)
+	hits0, _ := srv.cache.Stats()
+	_, second := get(t, srv, target)
+	hits1, _ := srv.cache.Stats()
+	if hits1 != hits0+1 {
+		t.Fatalf("second request did not hit the cache: hits %d -> %d", hits0, hits1)
+	}
+	if string(first) != string(second) {
+		t.Fatal("cached response differs from rendered response")
+	}
+
+	// Same filter expressed in a different parameter order must hit the
+	// same cache entry (canonical key).
+	_, _ = get(t, srv, "/api/v1/aggregate?user=u01&metric=cpu_idle")
+	hitsA, _ := srv.cache.Stats()
+	_, _ = get(t, srv, "/api/v1/aggregate?metric=cpu_idle&user=u01")
+	hitsB, _ := srv.cache.Stats()
+	if hitsB != hitsA+1 {
+		t.Fatal("parameter order changed the cache key")
+	}
+
+	// A reload bumps the generation: the old entry must not serve.
+	writeDataDir(t, dir, fixtureStore(150), fixtureSeries(10), nil)
+	gen0 := srv.Snapshot().Gen
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/v1/reload", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload: status %d, body %s", rec.Code, rec.Body.String())
+	}
+	if srv.Snapshot().Gen != gen0+1 {
+		t.Fatalf("generation %d after reload, want %d", srv.Snapshot().Gen, gen0+1)
+	}
+	_, third := get(t, srv, target)
+	var before, after aggDTO
+	if err := json.Unmarshal(first, &before); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(third, &after); err != nil {
+		t.Fatal(err)
+	}
+	if before.N == after.N {
+		t.Fatalf("post-reload response still reflects the old store (n=%d)", after.N)
+	}
+}
+
+func TestMaybeReloadPolling(t *testing.T) {
+	dir := t.TempDir()
+	writeDataDir(t, dir, fixtureStore(50), fixtureSeries(5), nil)
+	srv := newTestServer(t, dir)
+
+	reloaded, err := srv.MaybeReload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded {
+		t.Fatal("MaybeReload reloaded with an unchanged directory")
+	}
+	// Rewrite with different content; ensure the mtime-or-size
+	// fingerprint moves even on coarse-mtime filesystems.
+	writeDataDir(t, dir, fixtureStore(60), fixtureSeries(5), nil)
+	fixed := time.Unix(1700000000, 0)
+	if err := os.Chtimes(filepath.Join(dir, "jobs.jsonl"), fixed, fixed); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err = srv.MaybeReload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reloaded {
+		t.Fatal("MaybeReload missed a changed data directory")
+	}
+	if got := srv.Snapshot().Realm.Store.Len(); got != 60 {
+		t.Fatalf("reloaded store has %d jobs, want 60", got)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	writeDataDir(t, dir, fixtureStore(30), fixtureSeries(5), nil)
+	// A fake strictly increasing clock exercises the latency histogram
+	// deterministically.
+	var tick int64
+	srv, err := New(Config{DataDir: dir, Now: func() time.Time {
+		tick++
+		return time.Unix(0, tick*int64(200*time.Microsecond))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = get(t, srv, "/api/v1/aggregate?metric=cpu_idle")
+	_, _ = get(t, srv, "/api/v1/aggregate?metric=cpu_idle") // cache hit
+	_, _ = get(t, srv, "/api/v1/aggregate?metric=nope")     // 400
+	status, body := get(t, srv, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: status %d", status)
+	}
+	var m metricsDTO
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, body)
+	}
+	if m.Requests["/api/v1/aggregate"] != 3 {
+		t.Errorf("aggregate requests = %d, want 3", m.Requests["/api/v1/aggregate"])
+	}
+	if m.Status4xx != 1 || m.Status2xx < 2 {
+		t.Errorf("status counters 2xx=%d 4xx=%d", m.Status2xx, m.Status4xx)
+	}
+	if m.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", m.CacheHits)
+	}
+	if m.StoreGeneration != 1 {
+		t.Errorf("store generation = %d, want 1", m.StoreGeneration)
+	}
+	if m.Latency.Observed == 0 {
+		t.Error("latency histogram recorded nothing despite injected clock")
+	}
+}
+
+func TestQualityAbsent(t *testing.T) {
+	dir := t.TempDir()
+	writeDataDir(t, dir, fixtureStore(10), fixtureSeries(2), nil)
+	srv := newTestServer(t, dir)
+	_, body := get(t, srv, "/api/v1/quality")
+	var v map[string]any
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v["available"] != false {
+		t.Fatalf("quality without quality.json: %v", v)
+	}
+}
+
+func TestNaNSafeJSONOnEmptyPopulation(t *testing.T) {
+	dir := t.TempDir()
+	writeDataDir(t, dir, fixtureStore(10), fixtureSeries(2), nil)
+	srv := newTestServer(t, dir)
+	// No job matches this user: the aggregate is all-NaN, which must
+	// render as nulls, not fail to marshal.
+	status, body := get(t, srv, "/api/v1/aggregate?metric=cpu_idle&user=nobody")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v["mean"] != nil {
+		t.Fatalf("empty aggregate mean = %v, want null", v["mean"])
+	}
+	if v["n"] != float64(0) {
+		t.Fatalf("empty aggregate n = %v, want 0", v["n"])
+	}
+}

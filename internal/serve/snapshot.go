@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"supremm/internal/cluster"
+	"supremm/internal/core"
+	"supremm/internal/ingest"
+	"supremm/internal/store"
+)
+
+// Snapshot is one immutable, fully loaded view of a data directory:
+// the indexed store wrapped in a realm, the ingest quality report, and
+// the fingerprint of the files it came from. The daemon swaps whole
+// snapshots atomically, so a query either sees the old store or the new
+// one — never a torn mixture.
+type Snapshot struct {
+	Gen         uint64
+	Realm       *core.Realm
+	Quality     *ingest.DataQuality
+	Fingerprint string
+}
+
+// snapshotFiles are the data-directory members whose change forces a
+// reload, in fingerprint order.
+var snapshotFiles = []string{"jobs.jsonl", "series.jsonl", "quality.json"}
+
+// DirFingerprint summarizes the load-relevant files of a data directory
+// (size + mtime per file). The daemon polls this instead of watching
+// the filesystem: cmd/ingest rewrites whole files, so a changed
+// fingerprint is exactly "a new batch landed".
+func DirFingerprint(dir string) string {
+	fp := ""
+	for _, name := range snapshotFiles {
+		fp += name + ":"
+		if st, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			fp += strconv.FormatInt(st.Size(), 10) + "," + strconv.FormatInt(st.ModTime().UnixNano(), 10)
+		} else {
+			fp += "absent"
+		}
+		fp += ";"
+	}
+	return fp
+}
+
+// LoadRealm loads jobs.jsonl (+ optional series.jsonl) from a data
+// directory and assembles the realm, inferring the cluster shape from
+// the records the way cmd/xdmod always has. The returned realm's store
+// is unindexed; callers wanting indexed queries call BuildIndex.
+func LoadRealm(dir string) (*core.Realm, error) {
+	jf, err := os.Open(filepath.Join(dir, "jobs.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer jf.Close()
+	st, err := store.Load(jf)
+	if err != nil {
+		return nil, err
+	}
+	var series []store.SystemSample
+	if sf, err := os.Open(filepath.Join(dir, "series.jsonl")); err == nil {
+		defer sf.Close()
+		series, err = store.LoadSeries(sf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Infer the cluster shape from the records; the active-node peak in
+	// the series keeps the peak-TF scale honest for scaled runs.
+	name := "unknown"
+	if st.Len() > 0 {
+		name = st.Record(0).Cluster
+	}
+	cc := cluster.RangerConfig()
+	if name == "lonestar4" {
+		cc = cluster.Lonestar4Config()
+	}
+	nodes := cc.Nodes
+	if len(series) > 0 {
+		peak := 0
+		for _, s := range series {
+			if s.ActiveNodes > peak {
+				peak = s.ActiveNodes
+			}
+		}
+		if peak > 0 {
+			nodes = peak
+		}
+	}
+	cc = cc.Scaled(nodes)
+	return core.NewRealm(name, cc.CoresPerNode(), cc.MemPerNodeGB, cc.PeakTFlops(), st, series), nil
+}
+
+// LoadQuality reads the directory's ingest quality report; a missing
+// file is not an error (cmd/simulate writes none), it just means no
+// completeness view.
+func LoadQuality(dir string) (*ingest.DataQuality, error) {
+	q, err := ingest.LoadQuality(filepath.Join(dir, "quality.json"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	return q, err
+}
+
+// loadSnapshot reads the data directory into an immutable indexed
+// snapshot. A load racing an in-flight ingest rewrite can fail
+// transiently (half-written JSON); the retry/backoff idiom from
+// internal/ingest applies — retryMax extra attempts with the injected
+// backoff between them.
+func loadSnapshot(dir string, gen uint64, retryMax int, backoff func(attempt int)) (*Snapshot, error) {
+	var lastErr error
+	for attempt := 0; attempt <= retryMax; attempt++ {
+		if attempt > 0 && backoff != nil {
+			backoff(attempt)
+		}
+		fp := DirFingerprint(dir)
+		realm, err := LoadRealm(dir)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		quality, err := LoadQuality(dir)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if DirFingerprint(dir) != fp {
+			// The directory changed mid-load; what we read may mix
+			// batches. Treat as transient and retry.
+			lastErr = fmt.Errorf("serve: %s changed during load", dir)
+			continue
+		}
+		realm.Store.BuildIndex()
+		return &Snapshot{Gen: gen, Realm: realm, Quality: quality, Fingerprint: fp}, nil
+	}
+	return nil, fmt.Errorf("serve: load %s: %w", dir, lastErr)
+}

@@ -1,0 +1,234 @@
+package store
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Index is the read-optimized secondary-index layer over a Store: one
+// posting list of ascending row ids per distinct cluster, user and app
+// value. The cluster lists partition the rows — they are the store's
+// shards — while the user and app lists accelerate the selective
+// filters the query daemon serves. Lists are ascending, so an indexed
+// Select returns exactly the row set (and order) a full scan would.
+type Index struct {
+	cluster postings
+	user    postings
+	app     postings
+	// clusters holds the shard names in sorted order, for deterministic
+	// shard iteration.
+	clusters []string
+}
+
+// postings maps a column value to the ascending row ids holding it.
+type postings map[string][]int32
+
+func buildPostings(col []string) postings {
+	p := make(postings)
+	for i, v := range col {
+		p[v] = append(p[v], int32(i))
+	}
+	return p
+}
+
+// BuildIndex (re)builds the secondary indexes over the current rows.
+// The store must not be mutated (Add, SortByJobID) or queried from
+// other goroutines while the build runs; once built, any number of
+// readers may query concurrently. Mutation drops the index, so a
+// mutate-then-query sequence falls back to scans rather than serving
+// stale postings.
+func (s *Store) BuildIndex() {
+	idx := &Index{
+		cluster: buildPostings(s.cluster),
+		user:    buildPostings(s.user),
+		app:     buildPostings(s.app),
+	}
+	idx.clusters = make([]string, 0, len(idx.cluster))
+	for c := range idx.cluster {
+		idx.clusters = append(idx.clusters, c)
+	}
+	sort.Strings(idx.clusters)
+	s.idx = idx
+}
+
+// HasIndex reports whether the store currently carries an index.
+func (s *Store) HasIndex() bool { return s.idx != nil }
+
+// Clusters returns the sorted cluster shard names, or nil when the
+// store is unindexed.
+func (s *Store) Clusters() []string {
+	if s.idx == nil {
+		return nil
+	}
+	return s.idx.clusters
+}
+
+// selectIndexed evaluates the filter through the index: the smallest
+// applicable posting list supplies the candidates and the full filter
+// re-verifies each one, so the result is identical to SelectScan. A
+// filter naming a value with no postings short-circuits to empty.
+func (s *Store) selectIndexed(f Filter) []int {
+	best, ok := s.idx.narrowest(f)
+	if !ok {
+		return s.SelectScan(f)
+	}
+	idx := make([]int, 0, len(best))
+	for _, i := range best {
+		if s.match(int(i), f) {
+			idx = append(idx, int(i))
+		}
+	}
+	if len(idx) == 0 {
+		return nil // match SelectScan's nil-for-empty
+	}
+	return idx
+}
+
+// narrowest returns the shortest posting list among the filter's
+// equality predicates on indexed columns, or ok=false when the filter
+// constrains none of them (a scan is then the only option).
+func (ix *Index) narrowest(f Filter) ([]int32, bool) {
+	var best []int32
+	found := false
+	consider := func(p postings, val string) {
+		if val == "" {
+			return
+		}
+		list := p[val] // nil for unknown values: empty result
+		if !found || len(list) < len(best) {
+			best, found = list, true
+		}
+	}
+	consider(ix.cluster, f.Cluster)
+	consider(ix.user, f.User)
+	consider(ix.app, f.App)
+	return best, found
+}
+
+// aggChunk is the fixed accumulation granularity of the parallel
+// aggregation path. Partials are computed per chunk and merged in chunk
+// order, so the result is bit-identical for any worker count — the
+// property the daemon's golden responses rely on.
+const aggChunk = 4096
+
+// aggPartial is one chunk's running sums.
+type aggPartial struct {
+	sw, swx, plain float64
+	min, max       float64
+	ss             float64 // second pass only
+}
+
+// AggregateParallel computes the same node-hour-weighted aggregate as
+// Aggregate, accumulating in fixed-size chunks fanned out over up to
+// workers goroutines. Chunk partials merge in chunk order, so the
+// result does not depend on the worker count (only the last-ulp
+// rounding differs from the purely sequential Aggregate). workers <= 1
+// still uses the chunked accumulation, single-threaded.
+func (s *Store) AggregateParallel(m Metric, f Filter, workers int) Agg {
+	return s.aggregateRows(m, s.Select(f), workers)
+}
+
+func (s *Store) aggregateRows(m Metric, idx []int, workers int) Agg {
+	col := s.cols[m]
+	agg := Agg{N: len(idx)}
+	if agg.N == 0 {
+		nan := math.NaN()
+		return Agg{Mean: nan, StdDev: nan, Min: nan, Max: nan, UnweightedMean: nan}
+	}
+	chunks := (len(idx) + aggChunk - 1) / aggChunk
+	partials := make([]aggPartial, chunks)
+	runChunks(chunks, workers, func(c int) {
+		lo, hi := c*aggChunk, (c+1)*aggChunk
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		p := aggPartial{min: col[idx[lo]], max: col[idx[lo]]}
+		for _, i := range idx[lo:hi] {
+			w := s.nodeHours(i)
+			v := col[i]
+			p.sw += w
+			p.swx += w * v
+			p.plain += v
+			if v < p.min {
+				p.min = v
+			}
+			if v > p.max {
+				p.max = v
+			}
+		}
+		partials[c] = p
+	})
+	var sw, swx, plain float64
+	agg.Min, agg.Max = partials[0].min, partials[0].max
+	for _, p := range partials {
+		sw += p.sw
+		swx += p.swx
+		plain += p.plain
+		if p.min < agg.Min {
+			agg.Min = p.min
+		}
+		if p.max > agg.Max {
+			agg.Max = p.max
+		}
+	}
+	agg.NodeHours = sw
+	agg.UnweightedMean = plain / float64(agg.N)
+	if sw == 0 {
+		agg.Mean, agg.StdDev = math.NaN(), math.NaN()
+		return agg
+	}
+	agg.Mean = swx / sw
+	mean := agg.Mean
+	runChunks(chunks, workers, func(c int) {
+		lo, hi := c*aggChunk, (c+1)*aggChunk
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		var ss float64
+		for _, i := range idx[lo:hi] {
+			d := col[i] - mean
+			ss += s.nodeHours(i) * d * d
+		}
+		partials[c].ss = ss
+	})
+	var ss float64
+	for _, p := range partials {
+		ss += p.ss
+	}
+	agg.StdDev = math.Sqrt(ss / sw)
+	return agg
+}
+
+// runChunks executes fn(c) for every chunk index, on up to workers
+// goroutines. Chunk assignment is work-stealing (atomic counter) but
+// since each chunk writes only its own slot, the outcome is
+// deterministic regardless of scheduling.
+func runChunks(chunks, workers int, fn func(c int)) {
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			fn(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				fn(c)
+			}
+		}()
+	}
+	wg.Wait()
+}

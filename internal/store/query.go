@@ -43,8 +43,21 @@ func (s *Store) match(i int, f Filter) bool {
 	return true
 }
 
-// Select returns the row indices passing the filter.
+// Select returns the row indices passing the filter, ascending. With
+// an index built (BuildIndex) and an equality predicate on an indexed
+// column, the candidates come from the narrowest posting list instead
+// of a full scan; the result is identical either way.
 func (s *Store) Select(f Filter) []int {
+	if s.idx != nil {
+		return s.selectIndexed(f)
+	}
+	return s.SelectScan(f)
+}
+
+// SelectScan is the always-scan path, kept exported as the reference
+// implementation the index equivalence tests and benchmarks compare
+// against.
+func (s *Store) SelectScan(f Filter) []int {
 	var idx []int
 	for i := 0; i < s.Len(); i++ {
 		if s.match(i, f) {

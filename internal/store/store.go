@@ -143,6 +143,10 @@ type Store struct {
 	samples []int
 
 	cols map[Metric][]float64
+
+	// idx holds the secondary indexes built by BuildIndex; nil means
+	// every Select is a scan. Mutation invalidates it (see Add).
+	idx *Index
 }
 
 // New creates an empty store.
@@ -157,8 +161,11 @@ func New() *Store {
 // Len returns the number of records.
 func (s *Store) Len() int { return len(s.jobID) }
 
-// Add appends one record.
+// Add appends one record. Adding drops any index built by BuildIndex:
+// stale postings would silently exclude the new row, whereas a scan is
+// merely slower. Not safe concurrently with queries.
 func (s *Store) Add(r JobRecord) {
+	s.idx = nil
 	s.jobID = append(s.jobID, r.JobID)
 	s.cluster = append(s.cluster, r.Cluster)
 	s.user = append(s.user, r.User)
