@@ -1,7 +1,7 @@
 # Convenience targets for the SUPReMM reproduction.
 GO ?= go
 
-.PHONY: all build test test-race vet lint fuzz-smoke test-faults test-serve bench bench-ingest bench-serve figures dashboard clean
+.PHONY: all build test test-race vet lint fuzz-smoke test-faults test-serve test-store bench bench-ingest bench-serve bench-store figures dashboard clean
 
 all: build vet lint test test-race
 
@@ -17,10 +17,12 @@ vet:
 lint:
 	$(GO) run ./cmd/supremmlint ./...
 
-# Quick fuzz regression pass: replays the committed seed corpus plus a
-# short budget of new inputs against the raw-format parsers.
+# Quick fuzz regression pass: replays the committed seed corpora plus a
+# short budget of new inputs against the raw-format parsers and the
+# columnar binary snapshot decoder.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseFile -fuzztime 10s ./internal/taccstats
+	$(GO) test -run '^$$' -fuzz FuzzColumnsDecode -fuzztime 10s ./internal/store
 
 # Fault-injection differential suite under the race detector: corrupted
 # hosts quarantine, untouched jobs stay bit-identical, sequential and
@@ -34,6 +36,12 @@ test-faults:
 # seed corpus replay, and the indexed-vs-scan speedup floor.
 test-serve:
 	$(GO) test -race ./internal/serve ./cmd/supremmd
+
+# Columnar store suite under the race detector: row-vs-columnar
+# bit-equivalence, the binary codec round-trip/rejection matrix, the
+# fuzz seed replay, and the columnar speedup floor (DESIGN.md §11).
+test-store:
+	$(GO) test -race ./internal/store
 
 test:
 	$(GO) test ./...
@@ -57,6 +65,14 @@ bench-ingest:
 bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeAggregate|BenchmarkStoreSelect' -benchmem \
 		./internal/serve ./internal/store | tee BENCH_serve.txt
+
+# Columnar store benchmarks: aggregation kernels vs the row path, the
+# binary codec, and the jsonl-vs-binary snapshot load; recorded in
+# EXPERIMENTS.md. The binary/jsonl load ratio backs the >=5x and the
+# columnar/row broad-scan ratio the >=2x acceptance criteria.
+bench-store:
+	$(GO) test -run '^$$' -bench 'BenchmarkAggregateColumnar|BenchmarkColumnsCodec|BenchmarkLoadRealm' -benchmem \
+		./internal/store ./internal/serve | tee BENCH_store.txt
 
 # Render every paper figure as text plus vector/HTML artifacts.
 figures:

@@ -135,6 +135,20 @@ func runWorkers(rawDir, acctPath, out string, workers int, opts ingest.Options) 
 	if err := jf.Close(); err != nil {
 		return err
 	}
+	// The columnar binary snapshot rides alongside jobs.jsonl: supremmd
+	// prefers it (faster load, CRC-checked), and the JSON stays the
+	// inspectable/interoperable form.
+	bf, err := os.Create(filepath.Join(out, "jobs.supremm"))
+	if err != nil {
+		return err
+	}
+	if err := res.Store.SaveBinary(bf); err != nil {
+		_ = bf.Close() // save error wins
+		return err
+	}
+	if err := bf.Close(); err != nil {
+		return err
+	}
 	sf, err := os.Create(filepath.Join(out, "series.jsonl"))
 	if err != nil {
 		return err

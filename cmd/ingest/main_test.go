@@ -53,6 +53,25 @@ func TestIngestCommandEndToEnd(t *testing.T) {
 	if st.Len() != res.Store.Len() {
 		t.Errorf("ingested %d jobs, sim had %d", st.Len(), res.Store.Len())
 	}
+	// The binary snapshot must carry exactly the same records as the
+	// JSON-lines file it rides alongside.
+	bfr, err := os.Open(filepath.Join(out, "jobs.supremm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bfr.Close()
+	bst, err := store.LoadBinary(bfr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.Len() != st.Len() {
+		t.Errorf("binary snapshot has %d jobs, jsonl has %d", bst.Len(), st.Len())
+	}
+	for i := 0; i < st.Len(); i++ {
+		if bst.Record(i) != st.Record(i) {
+			t.Fatalf("row %d: binary %+v != jsonl %+v", i, bst.Record(i), st.Record(i))
+		}
+	}
 	sf, err := os.Open(filepath.Join(out, "series.jsonl"))
 	if err != nil {
 		t.Fatal(err)

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		data    = flag.String("data", "data", "ingested data directory (jobs.jsonl, series.jsonl, quality.json)")
+		data    = flag.String("data", "data", "ingested data directory (jobs.supremm/jobs.jsonl, series.jsonl, quality.json)")
 		addr    = flag.String("addr", "127.0.0.1:8090", "listen address")
 		poll    = flag.Duration("poll", 10*time.Second, "data-directory poll interval for hot reload (0 disables)")
 		cache   = flag.Int("cache", 0, "query-cache entries (0 = default 1024, negative disables)")
@@ -64,8 +64,8 @@ func run(ctx context.Context, data, addr string, poll, drain time.Duration,
 		return err
 	}
 	snap := srv.Snapshot()
-	fmt.Fprintf(os.Stderr, "supremmd: serving %s (%d jobs, cluster %s, generation %d) on %s\n",
-		data, snap.Realm.Store.Len(), snap.Realm.Cluster, snap.Gen, addr)
+	fmt.Fprintf(os.Stderr, "supremmd: serving %s (%d jobs, cluster %s, generation %d, %s source) on %s\n",
+		data, snap.Realm.Store.Len(), snap.Realm.Cluster, snap.Gen, snap.Source, addr)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -52,13 +52,17 @@ func Analyzers() []Scoped {
 			PkgMatch: pkgUnder("supremm"),
 		},
 		{
-			// The declared hot paths: the streaming parser and the
-			// schema-compiled interval reduction (PR 1's alloc budget).
+			// The declared hot paths: the streaming parser, the
+			// schema-compiled interval reduction (PR 1's alloc budget),
+			// and the columnar store — its binary codec and aggregation
+			// kernels are the daemon's load and query inner loops.
 			Analyzer: hotalloc.Analyzer,
-			PkgMatch: pkgIn("supremm/internal/taccstats", "supremm/internal/ingest"),
+			PkgMatch: pkgIn("supremm/internal/taccstats", "supremm/internal/ingest",
+				"supremm/internal/store"),
 			FileMatch: func(base string) bool {
 				switch base {
-				case "stream.go", "format.go", "plan.go", "raw.go", "accumulator.go":
+				case "stream.go", "format.go", "plan.go", "raw.go", "accumulator.go",
+					"columns.go", "codec.go", "query.go", "index.go":
 					return true
 				}
 				return false
@@ -72,11 +76,14 @@ func Analyzers() []Scoped {
 			// query daemon is a sink too: a dropped response-write error
 			// would silently truncate API replies, so internal/serve must
 			// check every write (failures feed its write_failures metric).
+			// internal/store joins the scope with the binary codec: a
+			// dropped SaveBinary write error would leave a torn
+			// jobs.supremm that every later daemon start trips over.
 			Analyzer: errsink.Analyzer,
 			PkgMatch: func(pkgPath string) bool {
 				switch pkgPath {
 				case "supremm/internal/report", "supremm/internal/ingest", "supremm/internal/faultinject",
-					"supremm/internal/serve":
+					"supremm/internal/serve", "supremm/internal/store":
 					return true
 				}
 				return strings.HasPrefix(pkgPath, "supremm/cmd/")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io/fs"
 	"runtime"
+	"sort"
 	"sync"
 
 	"supremm/internal/sched"
@@ -15,10 +16,45 @@ import (
 type hostResult struct {
 	host         string
 	intervals    []attributedInterval
-	buckets      map[int64]*sysBucket
+	buckets      []timedBucket
 	unattributed int
 	quality      DataQuality
 	err          error
+}
+
+// timedBucket is one sampling instant's partial sums for a single host,
+// kept in a time-sorted slice: sample times within a host's sorted day
+// files are (almost always) non-decreasing, so appending with a
+// last-element fast path replaces a per-interval map lookup and the
+// per-bucket heap allocation the map forced.
+type timedBucket struct {
+	t int64
+	b sysBucket
+}
+
+// bucketAt returns the bucket for sample time t, keeping the slice
+// sorted. The common case is t == last (fold into it) or t > last
+// (append); a clock step that rewinds time falls back to a binary
+// search + insert, so the result is identical to the map it replaced.
+func bucketAt(buckets []timedBucket, t int64) ([]timedBucket, *sysBucket) {
+	if n := len(buckets); n > 0 {
+		if last := &buckets[n-1]; last.t == t {
+			return buckets, &last.b
+		} else if t > last.t {
+			buckets = append(buckets, timedBucket{t: t})
+			return buckets, &buckets[len(buckets)-1].b
+		}
+		i := sort.Search(n, func(i int) bool { return buckets[i].t >= t })
+		if i < n && buckets[i].t == t {
+			return buckets, &buckets[i].b
+		}
+		buckets = append(buckets, timedBucket{})
+		copy(buckets[i+1:], buckets[i:])
+		buckets[i] = timedBucket{t: t}
+		return buckets, &buckets[i].b
+	}
+	buckets = append(buckets, timedBucket{t: t})
+	return buckets, &buckets[0].b
 }
 
 type attributedInterval struct {
@@ -51,24 +87,24 @@ func ingestParallel(dir string, acct []sched.AcctRecord, opts Options) (*RawResu
 	}
 	hosts := sortedDirs(hostDirs)
 
-	jobs := make(chan string)
-	results := make(map[string]*hostResult, len(hosts))
-	var mu sync.Mutex
+	// Workers pull host indices from a buffered channel and write their
+	// result into a per-host slot: no results mutex, and the producer
+	// never blocks handing out work.
+	jobs := make(chan int, len(hosts))
+	results := make([]*hostResult, len(hosts))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for host := range jobs {
-				res := processHost(o, host, windowsByHost[host])
-				mu.Lock()
-				results[host] = res
-				mu.Unlock()
+			for hi := range jobs {
+				host := hosts[hi].Name()
+				results[hi] = processHost(o, host, windowsByHost[host])
 			}
 		}()
 	}
-	for _, hd := range hosts {
-		jobs <- hd.Name()
+	for hi := range hosts {
+		jobs <- hi
 	}
 	close(jobs)
 	wg.Wait()
@@ -78,8 +114,7 @@ func ingestParallel(dir string, acct []sched.AcctRecord, opts Options) (*RawResu
 	buckets := make(map[int64]*sysBucket)
 	unattributed := 0
 	var quality DataQuality
-	for _, hd := range hosts {
-		res := results[hd.Name()]
+	for _, res := range results {
 		if res.err != nil {
 			return nil, res.err
 		}
@@ -93,13 +128,14 @@ func ingestParallel(dir string, acct []sched.AcctRecord, opts Options) (*RawResu
 				return nil, err
 			}
 		}
-		for t, hb := range res.buckets {
+		for i := range res.buckets {
+			t := res.buckets[i].t
 			b := buckets[t]
 			if b == nil {
 				b = &sysBucket{}
 				buckets[t] = b
 			}
-			b.merge(hb)
+			b.merge(&res.buckets[i].b)
 		}
 	}
 	return finalize(acc, identities, buckets, unattributed, &quality)
@@ -110,7 +146,7 @@ func ingestParallel(dir string, acct []sched.AcctRecord, opts Options) (*RawResu
 // touches shared state; its quarantine decisions depend only on the
 // host's own files, so they match the sequential path exactly.
 func processHost(o rawOptions, host string, windows []jobWindow) *hostResult {
-	res := &hostResult{host: host, buckets: make(map[int64]*sysBucket)}
+	res := &hostResult{host: host}
 	err := streamHost(o, host, &res.quality, func(prevTime, curTime int64, iv Interval) {
 		mid := prevTime + int64(iv.DtSec/2)
 		jobID := findJob(windows, mid)
@@ -119,11 +155,8 @@ func processHost(o rawOptions, host string, windows []jobWindow) *hostResult {
 		} else {
 			res.unattributed++
 		}
-		b := res.buckets[curTime]
-		if b == nil {
-			b = &sysBucket{}
-			res.buckets[curTime] = b
-		}
+		var b *sysBucket
+		res.buckets, b = bucketAt(res.buckets, curTime)
 		b.fold(iv, jobID != 0)
 	})
 	if err != nil {

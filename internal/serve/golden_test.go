@@ -96,6 +96,7 @@ func buildGoldenData(t testing.TB, root string) string {
 		t.Fatal(err)
 	}
 	writeStoreFile(t, filepath.Join(dataDir, "jobs.jsonl"), ing.Store)
+	writeBinaryFile(t, filepath.Join(dataDir, "jobs.supremm"), ing.Store)
 	writeSeriesFile(t, filepath.Join(dataDir, "series.jsonl"), ing.Series)
 	if err := ingest.SaveQuality(filepath.Join(dataDir, "quality.json"), &ing.Quality); err != nil {
 		t.Fatal(err)
@@ -110,6 +111,20 @@ func writeStoreFile(t testing.TB, path string, st *store.Store) {
 		t.Fatal(err)
 	}
 	if err := st.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeBinaryFile(t testing.TB, path string, st *store.Store) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveBinary(f); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -197,6 +212,52 @@ func TestGoldenEndToEnd(t *testing.T) {
 	for _, target := range goldenTargets {
 		if !bytes.Equal(got[target], again[target]) {
 			t.Errorf("%s: two pipeline runs disagree — the chain is not deterministic", target)
+		}
+	}
+}
+
+// TestGoldenLoadPaths proves the two load paths are observationally
+// identical: a daemon that loaded jobs.supremm answers every pinned
+// endpoint with exactly the bytes of a daemon that loaded jobs.jsonl.
+// The binary snapshot is a pure encoding change — no response may
+// depend on which file backed the store.
+func TestGoldenLoadPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	dataDir := buildGoldenData(t, t.TempDir())
+
+	// jsonlDir is the same directory minus the binary snapshot, forcing
+	// the fallback path.
+	jsonlDir := filepath.Join(t.TempDir(), "data")
+	if err := os.MkdirAll(jsonlDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"jobs.jsonl", "series.jsonl", "quality.json"} {
+		b, err := os.ReadFile(filepath.Join(dataDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(jsonlDir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srvBin := newTestServer(t, dataDir)
+	srvJSON := newTestServer(t, jsonlDir)
+	if got := srvBin.Snapshot().Source; got != SourceBinary {
+		t.Fatalf("snapshot with jobs.supremm loaded from %q, want %q", got, SourceBinary)
+	}
+	if got := srvJSON.Snapshot().Source; got != SourceJSONL {
+		t.Fatalf("snapshot without jobs.supremm loaded from %q, want %q", got, SourceJSONL)
+	}
+
+	fromBin := fetchAll(t, srvBin)
+	fromJSON := fetchAll(t, srvJSON)
+	for _, target := range goldenTargets {
+		if !bytes.Equal(fromBin[target], fromJSON[target]) {
+			t.Errorf("%s: binary-loaded response differs from jsonl-loaded\nbinary:\n%s\njsonl:\n%s",
+				target, clip(fromBin[target]), clip(fromJSON[target]))
 		}
 	}
 }

@@ -71,6 +71,16 @@ func writeDataDir(t testing.TB, dir string, st *store.Store, series []store.Syst
 	if err := jf.Close(); err != nil {
 		t.Fatal(err)
 	}
+	bf, err := os.Create(filepath.Join(dir, "jobs.supremm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveBinary(bf); err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.Close(); err != nil {
+		t.Fatal(err)
+	}
 	sf, err := os.Create(filepath.Join(dir, "series.jsonl"))
 	if err != nil {
 		t.Fatal(err)

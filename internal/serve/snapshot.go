@@ -24,11 +24,16 @@ type Snapshot struct {
 	Realm       *core.Realm
 	Quality     *ingest.DataQuality
 	Fingerprint string
+	// Source records which jobs file backed the load: "binary"
+	// (jobs.supremm) or "jsonl" (jobs.jsonl). Informational only — the
+	// two paths produce bit-identical stores (see TestGoldenLoadPaths).
+	Source string
 }
 
 // snapshotFiles are the data-directory members whose change forces a
-// reload, in fingerprint order.
-var snapshotFiles = []string{"jobs.jsonl", "series.jsonl", "quality.json"}
+// reload, in fingerprint order. The binary snapshot is listed first:
+// it is the preferred load source.
+var snapshotFiles = []string{"jobs.supremm", "jobs.jsonl", "series.jsonl", "quality.json"}
 
 // DirFingerprint summarizes the load-relevant files of a data directory
 // (size + mtime per file). The daemon polls this instead of watching
@@ -48,26 +53,66 @@ func DirFingerprint(dir string) string {
 	return fp
 }
 
-// LoadRealm loads jobs.jsonl (+ optional series.jsonl) from a data
+// LoadRealm loads the job store (+ optional series.jsonl) from a data
 // directory and assembles the realm, inferring the cluster shape from
 // the records the way cmd/xdmod always has. The returned realm's store
 // is unindexed; callers wanting indexed queries call BuildIndex.
 func LoadRealm(dir string) (*core.Realm, error) {
+	realm, _, err := LoadRealmSource(dir)
+	return realm, err
+}
+
+// loadStore reads the job store, preferring the columnar binary
+// snapshot (jobs.supremm) and falling back to JSON lines (jobs.jsonl)
+// when the binary file is absent. A binary file that exists but fails
+// to decode is an error, not a fallback: the two files are written by
+// the same ingest batch, so a damaged binary alongside a readable JSON
+// means the directory is torn and the load should retry, not silently
+// serve the other file.
+func loadStore(dir string) (*store.Store, string, error) {
+	bf, err := os.Open(filepath.Join(dir, "jobs.supremm"))
+	if err == nil {
+		defer bf.Close()
+		st, err := store.LoadBinary(bf)
+		if err != nil {
+			return nil, "", fmt.Errorf("serve: jobs.supremm: %w", err)
+		}
+		return st, SourceBinary, nil
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		return nil, "", err
+	}
 	jf, err := os.Open(filepath.Join(dir, "jobs.jsonl"))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer jf.Close()
 	st, err := store.Load(jf)
 	if err != nil {
-		return nil, err
+		return nil, "", err
+	}
+	return st, SourceJSONL, nil
+}
+
+// Snapshot source labels.
+const (
+	SourceBinary = "binary"
+	SourceJSONL  = "jsonl"
+)
+
+// LoadRealmSource is LoadRealm plus the job-store source label
+// (SourceBinary or SourceJSONL).
+func LoadRealmSource(dir string) (*core.Realm, string, error) {
+	st, source, err := loadStore(dir)
+	if err != nil {
+		return nil, "", err
 	}
 	var series []store.SystemSample
 	if sf, err := os.Open(filepath.Join(dir, "series.jsonl")); err == nil {
 		defer sf.Close()
 		series, err = store.LoadSeries(sf)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 	}
 	// Infer the cluster shape from the records; the active-node peak in
@@ -93,7 +138,7 @@ func LoadRealm(dir string) (*core.Realm, error) {
 		}
 	}
 	cc = cc.Scaled(nodes)
-	return core.NewRealm(name, cc.CoresPerNode(), cc.MemPerNodeGB, cc.PeakTFlops(), st, series), nil
+	return core.NewRealm(name, cc.CoresPerNode(), cc.MemPerNodeGB, cc.PeakTFlops(), st, series), source, nil
 }
 
 // LoadQuality reads the directory's ingest quality report; a missing
@@ -119,7 +164,7 @@ func loadSnapshot(dir string, gen uint64, retryMax int, backoff func(attempt int
 			backoff(attempt)
 		}
 		fp := DirFingerprint(dir)
-		realm, err := LoadRealm(dir)
+		realm, source, err := LoadRealmSource(dir)
 		if err != nil {
 			lastErr = err
 			continue
@@ -136,7 +181,7 @@ func loadSnapshot(dir string, gen uint64, retryMax int, backoff func(attempt int
 			continue
 		}
 		realm.Store.BuildIndex()
-		return &Snapshot{Gen: gen, Realm: realm, Quality: quality, Fingerprint: fp}, nil
+		return &Snapshot{Gen: gen, Realm: realm, Quality: quality, Fingerprint: fp, Source: source}, nil
 	}
 	return nil, fmt.Errorf("serve: load %s: %w", dir, lastErr)
 }

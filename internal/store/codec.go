@@ -1,0 +1,439 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Binary snapshot format ("jobs.supremm", DESIGN.md §11).
+//
+// The file is a direct little-endian serialization of Columns: a fixed
+// header followed by one length-prefixed, CRC32-guarded block per
+// column, in a fixed canonical order. Numeric columns are raw value
+// arrays; string columns are a dictionary (each distinct value once,
+// in first-appearance order) plus one uint32 code per row. Decoding
+// never trusts a declared length without checking it against the bytes
+// actually present, so a hostile file cannot drive allocations past its
+// own size, and any structural damage (truncation, bit flips, trailing
+// garbage) is an error — never a panic, never a silently wrong store.
+//
+// Versioning: the major version is part of the header; readers reject
+// any version they do not know. New columns get new block ids and a
+// version bump; v1 requires exactly the 23 known blocks in canonical
+// order, which also makes encode→decode→encode byte-stable.
+
+const (
+	// codecMagic opens every snapshot file.
+	codecMagic = "SUPRMMC1"
+	// codecVersion is the current (and only) format version.
+	codecVersion = 1
+	// codecHeaderLen is magic + version + flags + row count.
+	codecHeaderLen = 8 + 4 + 4 + 8
+	// blockHeaderLen is id + payload length + payload CRC32.
+	blockHeaderLen = 4 + 8 + 4
+	// numBlocks is the fixed v1 block count: 5 int64/int32 identity
+	// columns + job id + 5 dictionary columns + 12 metric columns.
+	numBlocks = 11 + NumMetrics
+)
+
+// Block ids, in the canonical file order.
+const (
+	blockJobID   = 1
+	blockCluster = 2
+	blockUser    = 3
+	blockApp     = 4
+	blockScience = 5
+	blockStatus  = 6
+	blockNodes   = 7
+	blockSubmit  = 8
+	blockStart   = 9
+	blockEnd     = 10
+	blockSamples = 11
+	blockMetric0 = 12 // metric k is block blockMetric0+k, AllMetrics order
+)
+
+// EncodeColumns serializes the columnar layout into the binary snapshot
+// format. The output is a pure function of the serialized fields
+// (dictionaries in first-appearance order, codes, numeric columns), so
+// encoding the decode of an encode reproduces the bytes exactly.
+func EncodeColumns(c *Columns) []byte {
+	n := c.Len()
+	buf := make([]byte, 0, codecHeaderLen+numBlocks*blockHeaderLen+n*(8*4+4*7)+dictBytes(c))
+	buf = append(buf, codecMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // flags, reserved
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+
+	buf = appendBlock(buf, blockJobID, encodeInt64s(c.JobID))
+	buf = appendBlock(buf, blockCluster, encodeDict(&c.Cluster))
+	buf = appendBlock(buf, blockUser, encodeDict(&c.User))
+	buf = appendBlock(buf, blockApp, encodeDict(&c.App))
+	buf = appendBlock(buf, blockScience, encodeDict(&c.Science))
+	buf = appendBlock(buf, blockStatus, encodeDict(&c.Status))
+	buf = appendBlock(buf, blockNodes, encodeInt32s(c.Nodes))
+	buf = appendBlock(buf, blockSubmit, encodeInt64s(c.Submit))
+	buf = appendBlock(buf, blockStart, encodeInt64s(c.Start))
+	buf = appendBlock(buf, blockEnd, encodeInt64s(c.End))
+	buf = appendBlock(buf, blockSamples, encodeInt32s(c.Samples))
+	for k := 0; k < NumMetrics; k++ {
+		buf = appendBlock(buf, uint32(blockMetric0+k), encodeFloat64s(c.Metrics[k]))
+	}
+	return buf
+}
+
+// dictBytes estimates the dictionary payload size for the encode
+// buffer's capacity hint.
+func dictBytes(c *Columns) int {
+	total := 0
+	for _, d := range []*DictColumn{&c.Cluster, &c.User, &c.App, &c.Science, &c.Status} {
+		total += 4
+		for _, v := range d.Values {
+			total += 4 + len(v)
+		}
+	}
+	return total
+}
+
+func appendBlock(buf []byte, id uint32, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, id)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+func encodeInt64s(col []int64) []byte {
+	out := make([]byte, 0, len(col)*8)
+	for _, v := range col {
+		out = binary.LittleEndian.AppendUint64(out, uint64(v))
+	}
+	return out
+}
+
+func encodeInt32s(col []int32) []byte {
+	out := make([]byte, 0, len(col)*4)
+	for _, v := range col {
+		out = binary.LittleEndian.AppendUint32(out, uint32(v))
+	}
+	return out
+}
+
+func encodeFloat64s(col []float64) []byte {
+	out := make([]byte, 0, len(col)*8)
+	for _, v := range col {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+func encodeDict(d *DictColumn) []byte {
+	size := 4
+	for _, v := range d.Values {
+		size += 4 + len(v)
+	}
+	out := make([]byte, 0, size+len(d.Codes)*4)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(d.Values)))
+	for _, v := range d.Values {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(v)))
+		out = append(out, v...)
+	}
+	for _, c := range d.Codes {
+		out = binary.LittleEndian.AppendUint32(out, c)
+	}
+	return out
+}
+
+// decoder walks the snapshot bytes with strict bounds checking; every
+// take is validated against the remaining length before any slice or
+// allocation is derived from it.
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.off }
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || n > d.remaining() {
+		return nil, fmt.Errorf("store: snapshot truncated at offset %d (need %d bytes, have %d)", d.off, n, d.remaining())
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *decoder) uint32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *decoder) uint64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// block reads one block header and returns the checksum-verified
+// payload for the expected block id.
+func (d *decoder) block(wantID uint32) ([]byte, error) {
+	id, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if id != wantID {
+		return nil, fmt.Errorf("store: snapshot block %d out of order (want %d)", id, wantID)
+	}
+	length, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	sum, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if length > uint64(d.remaining()) {
+		return nil, fmt.Errorf("store: snapshot block %d claims %d payload bytes, only %d remain", id, length, d.remaining())
+	}
+	payload, err := d.take(int(length))
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("store: snapshot block %d checksum mismatch (%08x != %08x)", id, got, sum)
+	}
+	return payload, nil
+}
+
+func decodeInt64s(payload []byte, rows int) ([]int64, error) {
+	if len(payload) != rows*8 {
+		return nil, fmt.Errorf("store: int64 column payload is %d bytes, want %d", len(payload), rows*8)
+	}
+	out := make([]int64, rows)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return out, nil
+}
+
+func decodeInt32s(payload []byte, rows int) ([]int32, error) {
+	if len(payload) != rows*4 {
+		return nil, fmt.Errorf("store: int32 column payload is %d bytes, want %d", len(payload), rows*4)
+	}
+	out := make([]int32, rows)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(payload[i*4:]))
+	}
+	return out, nil
+}
+
+func decodeFloat64s(payload []byte, rows int) ([]float64, error) {
+	if len(payload) != rows*8 {
+		return nil, fmt.Errorf("store: float64 column payload is %d bytes, want %d", len(payload), rows*8)
+	}
+	out := make([]float64, rows)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return out, nil
+}
+
+func decodeDict(payload []byte, rows int) (DictColumn, error) {
+	var out DictColumn
+	d := decoder{data: payload}
+	dictLen, err := d.uint32()
+	if err != nil {
+		return out, err
+	}
+	// Each dictionary entry needs at least its 4-byte length prefix and
+	// each row a 4-byte code, so dictLen is bounded by the payload
+	// itself — checked before allocating.
+	if uint64(dictLen)*4+uint64(rows)*4 > uint64(d.remaining()) {
+		return out, fmt.Errorf("store: dictionary claims %d values in %d bytes", dictLen, d.remaining())
+	}
+	out.Values = make([]string, 0, dictLen)
+	seen := make(map[string]bool, dictLen)
+	for k := uint32(0); k < dictLen; k++ {
+		strLen, err := d.uint32()
+		if err != nil {
+			return out, err
+		}
+		raw, err := d.take(int(strLen))
+		if err != nil {
+			return out, err
+		}
+		v := string(raw) //supremmlint:allow hotalloc: dictionary values are interned once per distinct string, not per row
+		if seen[v] {
+			// Duplicate dictionary entries never come out of the encoder
+			// and would break the one-group-per-code invariant GroupBy
+			// relies on.
+			return out, fmt.Errorf("store: dictionary value %q appears twice", v)
+		}
+		seen[v] = true
+		out.Values = append(out.Values, v)
+	}
+	codes, err := d.take(rows * 4)
+	if err != nil {
+		return out, err
+	}
+	if d.remaining() != 0 {
+		return out, fmt.Errorf("store: dictionary has %d trailing bytes", d.remaining())
+	}
+	out.Codes = make([]uint32, rows)
+	for i := range out.Codes {
+		c := binary.LittleEndian.Uint32(codes[i*4:])
+		if c >= dictLen {
+			return out, fmt.Errorf("store: dictionary code %d out of range (dictionary has %d values)", c, dictLen)
+		}
+		out.Codes[i] = c
+	}
+	return out, nil
+}
+
+// DecodeColumns parses a binary snapshot produced by EncodeColumns.
+// Malformed input of any kind — wrong magic or version, truncated or
+// reordered blocks, checksum mismatches, out-of-range codes or lengths,
+// trailing bytes — returns an error; decode never panics and never
+// allocates more than a small multiple of len(data).
+func DecodeColumns(data []byte) (*Columns, error) {
+	d := decoder{data: data}
+	magic, err := d.take(8)
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("store: not a snapshot file (bad magic %q)", magic)
+	}
+	version, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("store: snapshot version %d not supported (reader knows %d)", version, codecVersion)
+	}
+	flags, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if flags != 0 {
+		return nil, fmt.Errorf("store: snapshot uses unknown flags %#x", flags)
+	}
+	rows64, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	// Every row costs at least 4 bytes in each of the 11 fixed-width /
+	// code arrays, so a row count the remaining bytes cannot hold is
+	// structurally invalid — rejected before any allocation.
+	if rows64 > uint64(d.remaining())/4 {
+		return nil, fmt.Errorf("store: snapshot claims %d rows in %d bytes", rows64, d.remaining())
+	}
+	rows := int(rows64)
+
+	c := &Columns{}
+	if err := decodeBody(&d, c, rows); err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes after last block", d.remaining())
+	}
+	c.recomputeDerived()
+	return c, nil
+}
+
+// decodeBody reads the 23 canonical blocks into c.
+func decodeBody(d *decoder, c *Columns, rows int) error {
+	var err error
+	int64Col := func(id uint32, dst *[]int64) error {
+		payload, berr := d.block(id)
+		if berr != nil {
+			return berr
+		}
+		*dst, berr = decodeInt64s(payload, rows)
+		return berr
+	}
+	int32Col := func(id uint32, dst *[]int32) error {
+		payload, berr := d.block(id)
+		if berr != nil {
+			return berr
+		}
+		*dst, berr = decodeInt32s(payload, rows)
+		return berr
+	}
+	dictCol := func(id uint32, dst *DictColumn) error {
+		payload, berr := d.block(id)
+		if berr != nil {
+			return berr
+		}
+		*dst, berr = decodeDict(payload, rows)
+		return berr
+	}
+	if err = int64Col(blockJobID, &c.JobID); err != nil {
+		return err
+	}
+	if err = dictCol(blockCluster, &c.Cluster); err != nil {
+		return err
+	}
+	if err = dictCol(blockUser, &c.User); err != nil {
+		return err
+	}
+	if err = dictCol(blockApp, &c.App); err != nil {
+		return err
+	}
+	if err = dictCol(blockScience, &c.Science); err != nil {
+		return err
+	}
+	if err = dictCol(blockStatus, &c.Status); err != nil {
+		return err
+	}
+	if err = int32Col(blockNodes, &c.Nodes); err != nil {
+		return err
+	}
+	if err = int64Col(blockSubmit, &c.Submit); err != nil {
+		return err
+	}
+	if err = int64Col(blockStart, &c.Start); err != nil {
+		return err
+	}
+	if err = int64Col(blockEnd, &c.End); err != nil {
+		return err
+	}
+	if err = int32Col(blockSamples, &c.Samples); err != nil {
+		return err
+	}
+	for k := 0; k < NumMetrics; k++ {
+		payload, berr := d.block(uint32(blockMetric0 + k))
+		if berr != nil {
+			return berr
+		}
+		if c.Metrics[k], berr = decodeFloat64s(payload, rows); berr != nil {
+			return berr
+		}
+	}
+	return nil
+}
+
+// SaveBinary writes the store as a binary snapshot (jobs.supremm).
+func (s *Store) SaveBinary(w io.Writer) error {
+	_, err := w.Write(EncodeColumns(&s.c))
+	return err
+}
+
+// LoadBinary reads a binary snapshot into a store.
+func LoadBinary(r io.Reader) (*Store, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: load binary: %w", err)
+	}
+	c, err := DecodeColumns(data)
+	if err != nil {
+		return nil, err
+	}
+	return FromColumns(c), nil
+}

@@ -1,0 +1,267 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// codecStore builds a store with awkward codec inputs: NaN/Inf metric
+// bits, negative ints, empty strings, non-ASCII strings, repeated and
+// unique dictionary values.
+func codecStore(n int) *Store {
+	st := New()
+	for i := 0; i < n; i++ {
+		r := JobRecord{
+			JobID:   int64(i) - 3, // negative ids in range
+			Cluster: "ranger",
+			User:    []string{"alice", "böb", "", "alice"}[i%4],
+			App:     "app" + string(rune('a'+i%11)),
+			Science: []string{"Chem", "Phys"}[i%2],
+			Nodes:   i % 100,
+			Submit:  int64(i) * 1e6,
+			Start:   int64(i)*1e6 + 17,
+			End:     int64(i)*1e6 + 17 + int64(i%5000),
+			Status:  "completed",
+			Samples: i % 9,
+		}
+		r.FlopsGF = float64(i) * 1.25
+		r.MemUsedGB = -float64(i % 7)
+		if i%13 == 0 {
+			r.CPUIdleFrac = math.NaN()
+		}
+		if i%17 == 0 {
+			r.ReadMB = math.Inf(-1)
+		}
+		st.Add(r)
+	}
+	return st
+}
+
+// TestCodecRoundTrip proves encode→decode reproduces every record
+// exactly (bit-level for floats, via Float64bits through the JSON-tag
+// comparison below being reflect.DeepEqual on the structs).
+func TestCodecRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 5000} {
+		st := codecStore(n)
+		data := EncodeColumns(st.Columns())
+		got, err := DecodeColumns(data)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		st2 := FromColumns(got)
+		if st2.Len() != st.Len() {
+			t.Fatalf("n=%d: %d rows, want %d", n, st2.Len(), st.Len())
+		}
+		for i := 0; i < st.Len(); i++ {
+			a, b := st.Record(i), st2.Record(i)
+			if !recordsBitEqual(a, b) {
+				t.Fatalf("n=%d row %d: %+v != %+v", n, i, b, a)
+			}
+		}
+	}
+}
+
+// recordsBitEqual compares records treating NaN bit patterns as equal.
+func recordsBitEqual(a, b JobRecord) bool {
+	fa, fb := metricBits(a), metricBits(b)
+	a = zeroMetrics(a)
+	b = zeroMetrics(b)
+	return a == b && fa == fb
+}
+
+func metricBits(r JobRecord) [NumMetrics]uint64 {
+	var out [NumMetrics]uint64
+	for k, m := range AllMetrics() {
+		out[k] = math.Float64bits(r.Value(m))
+	}
+	return out
+}
+
+func zeroMetrics(r JobRecord) JobRecord {
+	r.CPUIdleFrac, r.CPUUserFrac, r.CPUSysFrac = 0, 0, 0
+	r.MemUsedGB, r.MemUsedMaxGB, r.FlopsGF = 0, 0, 0
+	r.ScratchWriteMB, r.WorkWriteMB, r.ReadMB = 0, 0, 0
+	r.IBTxMB, r.IBRxMB, r.LnetTxMB = 0, 0, 0
+	return r
+}
+
+// TestCodecByteStable proves encode→decode→encode reproduces the exact
+// bytes — the dictionary order, codes and numeric payloads are all pure
+// functions of the serialized form.
+func TestCodecByteStable(t *testing.T) {
+	st := codecStore(4096)
+	first := EncodeColumns(st.Columns())
+	c, err := DecodeColumns(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := EncodeColumns(c)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", len(first), len(second))
+	}
+}
+
+// TestCodecDerivedState proves a decoded store answers queries exactly
+// like the store it was encoded from (the derived dictionaries, weight
+// cache and vacuity bounds are rebuilt correctly).
+func TestCodecDerivedState(t *testing.T) {
+	st := equivStore(3000)
+	c, err := DecodeColumns(EncodeColumns(st.Columns()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := FromColumns(c)
+	for fi, f := range equivFilters {
+		if got, want := st2.Aggregate(MetricFlops, f), st.Aggregate(MetricFlops, f); !aggBitsEqual(got, want) {
+			t.Errorf("filter#%d: decoded store aggregate %+v != original %+v", fi, got, want)
+		}
+		if got, want := st2.Select(f), st.Select(f); !reflect.DeepEqual(got, want) {
+			t.Errorf("filter#%d: decoded store selects %d rows, original %d", fi, len(got), len(want))
+		}
+	}
+	if got, want := st2.TotalNodeHours(Filter{}), st.TotalNodeHours(Filter{}); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("TotalNodeHours %v != %v", got, want)
+	}
+}
+
+// TestSaveLoadBinary covers the io.Reader/Writer wrappers.
+func TestSaveLoadBinary(t *testing.T) {
+	st := codecStore(257)
+	var buf bytes.Buffer
+	if err := st.SaveBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := LoadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("%d rows, want %d", st2.Len(), st.Len())
+	}
+	for i := 0; i < st.Len(); i++ {
+		if !recordsBitEqual(st.Record(i), st2.Record(i)) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+// TestDecodeRejectsMalformed enumerates the structured corruption cases
+// the decoder must reject with an error (matching the fuzz corpus
+// seeds): truncations at every boundary, bad magic/version/flags,
+// corrupted CRCs, reordered blocks, hostile lengths, out-of-range
+// dictionary codes and trailing garbage.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := EncodeColumns(codecStore(50).Columns())
+	if _, err := DecodeColumns(valid); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := append([]byte(nil), valid...)
+		b = f(b)
+		if _, err := DecodeColumns(b); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+
+	mutate("empty", func(b []byte) []byte { return nil })
+	mutate("bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	mutate("future version", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[8:], 99)
+		return b
+	})
+	mutate("unknown flags", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[12:], 1)
+		return b
+	})
+	mutate("row count beyond file", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[16:], 1<<40)
+		return b
+	})
+	mutate("row count off by one", func(b []byte) []byte {
+		n := binary.LittleEndian.Uint64(b[16:])
+		binary.LittleEndian.PutUint64(b[16:], n+1)
+		return b
+	})
+	mutate("truncated header", func(b []byte) []byte { return b[:10] })
+	mutate("truncated mid-block", func(b []byte) []byte { return b[:len(b)/2] })
+	mutate("truncated last byte", func(b []byte) []byte { return b[:len(b)-1] })
+	mutate("trailing garbage", func(b []byte) []byte { return append(b, 0xde, 0xad) })
+	mutate("corrupted payload vs CRC", func(b []byte) []byte {
+		b[codecHeaderLen+blockHeaderLen] ^= 0x01 // first byte of first payload
+		return b
+	})
+	mutate("corrupted CRC field", func(b []byte) []byte {
+		b[codecHeaderLen+12] ^= 0x01 // CRC of first block
+		return b
+	})
+	mutate("reordered block id", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[codecHeaderLen:], blockCluster)
+		return b
+	})
+	mutate("hostile block length", func(b []byte) []byte {
+		// First block claims a huge payload; must be caught against
+		// remaining bytes, not allocated.
+		binary.LittleEndian.PutUint64(b[codecHeaderLen+4:], 1<<50)
+		return b
+	})
+
+	// Dictionary-specific damage needs the cluster block (id 2): it
+	// follows the job-id block.
+	dictOff := codecHeaderLen + blockHeaderLen + 50*8
+	mutate("hostile dictionary count", func(b []byte) []byte {
+		payloadStart := dictOff + blockHeaderLen
+		binary.LittleEndian.PutUint32(b[payloadStart:], 1<<30)
+		fixBlockCRC(b, dictOff)
+		return b
+	})
+	mutate("hostile dictionary string length", func(b []byte) []byte {
+		payloadStart := dictOff + blockHeaderLen
+		binary.LittleEndian.PutUint32(b[payloadStart+4:], 1<<31)
+		fixBlockCRC(b, dictOff)
+		return b
+	})
+	mutate("dictionary code out of range", func(b []byte) []byte {
+		// The cluster dictionary has 1 value ("ranger", 6 bytes); the
+		// codes start after count+len+bytes.
+		payloadStart := dictOff + blockHeaderLen
+		binary.LittleEndian.PutUint32(b[payloadStart+4+4+6:], 7)
+		fixBlockCRC(b, dictOff)
+		return b
+	})
+}
+
+// fixBlockCRC recomputes the CRC of the block at off so payload
+// mutations exercise the structural checks rather than the checksum.
+func fixBlockCRC(b []byte, off int) {
+	length := binary.LittleEndian.Uint64(b[off+4:])
+	payload := b[off+blockHeaderLen : off+blockHeaderLen+int(length)]
+	binary.LittleEndian.PutUint32(b[off+12:], crc32.ChecksumIEEE(payload))
+}
+
+// BenchmarkColumnsCodec measures raw encode/decode throughput on the
+// 100k-job floor corpus (make bench-store).
+func BenchmarkColumnsCodec(b *testing.B) {
+	st := floorStore(100_000)
+	data := EncodeColumns(st.Columns())
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			_ = EncodeColumns(st.Columns())
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeColumns(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

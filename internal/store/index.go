@@ -25,10 +25,19 @@ type Index struct {
 // postings maps a column value to the ascending row ids holding it.
 type postings map[string][]int32
 
-func buildPostings(col []string) postings {
-	p := make(postings)
-	for i, v := range col {
-		p[v] = append(p[v], int32(i))
+// buildPostings inverts a dictionary column: the per-code row lists are
+// sized exactly from the dictionary counts, then keyed by value.
+func buildPostings(d *DictColumn) postings {
+	lists := make([][]int32, len(d.Values))
+	for code, n := range d.counts {
+		lists[code] = make([]int32, 0, n)
+	}
+	for i, code := range d.Codes {
+		lists[code] = append(lists[code], int32(i))
+	}
+	p := make(postings, len(d.Values))
+	for code, v := range d.Values {
+		p[v] = lists[code]
 	}
 	return p
 }
@@ -41,9 +50,9 @@ func buildPostings(col []string) postings {
 // stale postings.
 func (s *Store) BuildIndex() {
 	idx := &Index{
-		cluster: buildPostings(s.cluster),
-		user:    buildPostings(s.user),
-		app:     buildPostings(s.app),
+		cluster: buildPostings(&s.c.Cluster),
+		user:    buildPostings(&s.c.User),
+		app:     buildPostings(&s.c.App),
 	}
 	idx.clusters = make([]string, 0, len(idx.cluster))
 	for c := range idx.cluster {
@@ -63,27 +72,6 @@ func (s *Store) Clusters() []string {
 		return nil
 	}
 	return s.idx.clusters
-}
-
-// selectIndexed evaluates the filter through the index: the smallest
-// applicable posting list supplies the candidates and the full filter
-// re-verifies each one, so the result is identical to SelectScan. A
-// filter naming a value with no postings short-circuits to empty.
-func (s *Store) selectIndexed(f Filter) []int {
-	best, ok := s.idx.narrowest(f)
-	if !ok {
-		return s.SelectScan(f)
-	}
-	idx := make([]int, 0, len(best))
-	for _, i := range best {
-		if s.match(int(i), f) {
-			idx = append(idx, int(i))
-		}
-	}
-	if len(idx) == 0 {
-		return nil // match SelectScan's nil-for-empty
-	}
-	return idx
 }
 
 // narrowest returns the shortest posting list among the filter's
@@ -126,36 +114,65 @@ type aggPartial struct {
 // result does not depend on the worker count (only the last-ulp
 // rounding differs from the purely sequential Aggregate). workers <= 1
 // still uses the chunked accumulation, single-threaded.
+//
+// Chunks cover 4096 consecutive *selected* rows. When the filter is
+// provably vacuous the selection is the implicit 0..n-1 set and the
+// kernel runs directly over the contiguous columns — same chunk
+// boundaries, same accumulation order, no materialized index.
 func (s *Store) AggregateParallel(m Metric, f Filter, workers int) Agg {
-	return s.aggregateRows(m, s.Select(f), workers)
+	return s.aggregateSet(m, s.selectSet(f), workers)
 }
 
-func (s *Store) aggregateRows(m Metric, idx []int, workers int) Agg {
-	col := s.cols[m]
-	agg := Agg{N: len(idx)}
-	if agg.N == 0 {
+// aggregateSet is the chunked kernel over a selection. Both arms (the
+// contiguous all-rows sweep and the index-indirect sweep) enumerate the
+// same rows in the same order with the same 4096-row chunk partials, so
+// they are bit-identical whenever they see the same selection.
+func (s *Store) aggregateSet(m Metric, rs rowSet, workers int) Agg {
+	col := s.col(m)
+	weight := s.c.weight
+	n := rs.len()
+	agg := Agg{N: n}
+	if n == 0 {
 		nan := math.NaN()
 		return Agg{Mean: nan, StdDev: nan, Min: nan, Max: nan, UnweightedMean: nan}
 	}
-	chunks := (len(idx) + aggChunk - 1) / aggChunk
+	chunks := (n + aggChunk - 1) / aggChunk
 	partials := make([]aggPartial, chunks)
 	runChunks(chunks, workers, func(c int) {
 		lo, hi := c*aggChunk, (c+1)*aggChunk
-		if hi > len(idx) {
-			hi = len(idx)
+		if hi > n {
+			hi = n
 		}
-		p := aggPartial{min: col[idx[lo]], max: col[idx[lo]]}
-		for _, i := range idx[lo:hi] {
-			w := s.nodeHours(i)
-			v := col[i]
-			p.sw += w
-			p.swx += w * v
-			p.plain += v
-			if v < p.min {
-				p.min = v
+		var p aggPartial
+		if rs.all {
+			p = aggPartial{min: col[lo], max: col[lo]}
+			for i := lo; i < hi; i++ {
+				w := weight[i]
+				v := col[i]
+				p.sw += w
+				p.swx += w * v
+				p.plain += v
+				if v < p.min {
+					p.min = v
+				}
+				if v > p.max {
+					p.max = v
+				}
 			}
-			if v > p.max {
-				p.max = v
+		} else {
+			p = aggPartial{min: col[rs.idx[lo]], max: col[rs.idx[lo]]}
+			for _, i := range rs.idx[lo:hi] {
+				w := weight[i]
+				v := col[i]
+				p.sw += w
+				p.swx += w * v
+				p.plain += v
+				if v < p.min {
+					p.min = v
+				}
+				if v > p.max {
+					p.max = v
+				}
 			}
 		}
 		partials[c] = p
@@ -183,13 +200,20 @@ func (s *Store) aggregateRows(m Metric, idx []int, workers int) Agg {
 	mean := agg.Mean
 	runChunks(chunks, workers, func(c int) {
 		lo, hi := c*aggChunk, (c+1)*aggChunk
-		if hi > len(idx) {
-			hi = len(idx)
+		if hi > n {
+			hi = n
 		}
 		var ss float64
-		for _, i := range idx[lo:hi] {
-			d := col[i] - mean
-			ss += s.nodeHours(i) * d * d
+		if rs.all {
+			for i := lo; i < hi; i++ {
+				d := col[i] - mean
+				ss += weight[i] * d * d
+			}
+		} else {
+			for _, i := range rs.idx[lo:hi] {
+				d := col[i] - mean
+				ss += weight[i] * d * d
+			}
 		}
 		partials[c].ss = ss
 	})

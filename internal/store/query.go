@@ -20,27 +20,162 @@ type Filter struct {
 	EndBefore int64
 }
 
-// match reports whether row i passes the filter.
-func (s *Store) match(i int, f Filter) bool {
+// compiledFilter is a Filter resolved against the store's dictionaries:
+// string predicates become uint32 code comparisons, so the scan loop
+// never touches string data. impossible marks a filter naming a string
+// value absent from its dictionary (no row can match); allRows marks a
+// filter every row provably passes (each predicate vacuous), which lets
+// the kernels skip materializing a row-index list entirely.
+type compiledFilter struct {
+	cluster, user, app, science, status int64 // dict code, or -1 for "any"
+	minSamples                          int32
+	endAfter, endBefore                 int64
+	impossible                          bool
+	allRows                             bool
+}
+
+// compileDict resolves one string predicate: -1 for "any", the code
+// when present, impossible when the value is unknown. vacuous reports
+// whether the predicate passes every row.
+func compileDict(d *DictColumn, val string, n int) (code int64, impossible, vacuous bool) {
+	if val == "" {
+		return -1, false, true
+	}
+	c, ok := d.code(val)
+	if !ok {
+		return 0, true, false
+	}
+	return int64(c), false, d.counts[c] == n
+}
+
+// compile resolves f against the store's dictionaries and bounds.
+func (s *Store) compile(f Filter) compiledFilter {
+	n := s.Len()
+	cf := compiledFilter{
+		minSamples: int32(f.MinSamples),
+		endAfter:   f.EndAfter,
+		endBefore:  f.EndBefore,
+	}
+	vacuous := true
+	resolve := func(d *DictColumn, val string) int64 {
+		code, imp, vac := compileDict(d, val, n)
+		cf.impossible = cf.impossible || imp
+		vacuous = vacuous && vac
+		return code
+	}
+	cf.cluster = resolve(&s.c.Cluster, f.Cluster)
+	cf.user = resolve(&s.c.User, f.User)
+	cf.app = resolve(&s.c.App, f.App)
+	cf.science = resolve(&s.c.Science, f.Science)
+	cf.status = resolve(&s.c.Status, f.Status)
+	if f.MinSamples > 0 && (n == 0 || int32(f.MinSamples) > s.c.minSamples) {
+		vacuous = false
+	}
+	if f.EndAfter != 0 && (n == 0 || f.EndAfter > s.c.minEnd) {
+		vacuous = false
+	}
+	if f.EndBefore != 0 && (n == 0 || f.EndBefore <= s.c.maxEnd) {
+		vacuous = false
+	}
+	cf.allRows = vacuous && !cf.impossible && n > 0
+	return cf
+}
+
+// matchCompiled reports whether row i passes the compiled filter.
+func (s *Store) matchCompiled(i int, cf *compiledFilter) bool {
+	c := &s.c
 	switch {
-	case f.Cluster != "" && s.cluster[i] != f.Cluster:
+	case cf.cluster >= 0 && int64(c.Cluster.Codes[i]) != cf.cluster:
 		return false
-	case f.User != "" && s.user[i] != f.User:
+	case cf.user >= 0 && int64(c.User.Codes[i]) != cf.user:
 		return false
-	case f.App != "" && s.app[i] != f.App:
+	case cf.app >= 0 && int64(c.App.Codes[i]) != cf.app:
 		return false
-	case f.Science != "" && s.science[i] != f.Science:
+	case cf.science >= 0 && int64(c.Science.Codes[i]) != cf.science:
 		return false
-	case f.Status != "" && s.status[i] != f.Status:
+	case cf.status >= 0 && int64(c.Status.Codes[i]) != cf.status:
 		return false
-	case f.MinSamples > 0 && s.samples[i] < f.MinSamples:
+	case cf.minSamples > 0 && c.Samples[i] < cf.minSamples:
 		return false
-	case f.EndAfter != 0 && s.end[i] < f.EndAfter:
+	case cf.endAfter != 0 && c.End[i] < cf.endAfter:
 		return false
-	case f.EndBefore != 0 && s.end[i] >= f.EndBefore:
+	case cf.endBefore != 0 && c.End[i] >= cf.endBefore:
 		return false
 	}
 	return true
+}
+
+// match reports whether row i passes the filter. Kept as the one-off
+// entry point; scans compile the filter once instead.
+func (s *Store) match(i int, f Filter) bool {
+	cf := s.compile(f)
+	if cf.impossible {
+		return false
+	}
+	return s.matchCompiled(i, &cf)
+}
+
+// rowSet is the internal result of a selection: either an implicit
+// "all n rows" (no materialized index — the broad-scan fast path) or an
+// explicit ascending row-id list. Both enumerate rows in the same
+// ascending order, so kernels consuming either form accumulate in
+// identical order and produce bit-identical aggregates.
+type rowSet struct {
+	all bool
+	n   int     // row count when all
+	idx []int32 // ascending rows otherwise
+}
+
+func (rs rowSet) len() int {
+	if rs.all {
+		return rs.n
+	}
+	return len(rs.idx)
+}
+
+// row returns the j'th selected row id.
+func (rs rowSet) row(j int) int {
+	if rs.all {
+		return j
+	}
+	return int(rs.idx[j])
+}
+
+// selectSet evaluates the filter into a rowSet: a provably vacuous
+// filter yields the implicit all-rows set with no allocation; an
+// indexed store narrows through the shortest posting list; otherwise a
+// compiled columnar scan materializes the ascending row list.
+func (s *Store) selectSet(f Filter) rowSet {
+	cf := s.compile(f)
+	if cf.impossible {
+		return rowSet{}
+	}
+	if cf.allRows {
+		return rowSet{all: true, n: s.Len()}
+	}
+	if s.idx != nil {
+		if best, ok := s.idx.narrowest(f); ok {
+			idx := make([]int32, 0, len(best))
+			for _, i := range best {
+				if s.matchCompiled(int(i), &cf) {
+					idx = append(idx, i)
+				}
+			}
+			return rowSet{idx: idx}
+		}
+	}
+	return rowSet{idx: s.scanCompiled(&cf)}
+}
+
+// scanCompiled is the full-scan arm over the compiled filter.
+func (s *Store) scanCompiled(cf *compiledFilter) []int32 {
+	var idx []int32
+	for i, n := 0, s.Len(); i < n; i++ {
+		if s.matchCompiled(i, cf) {
+			idx = append(idx, int32(i))
+		}
+	}
+	return idx
 }
 
 // Select returns the row indices passing the filter, ascending. With
@@ -48,10 +183,15 @@ func (s *Store) match(i int, f Filter) bool {
 // column, the candidates come from the narrowest posting list instead
 // of a full scan; the result is identical either way.
 func (s *Store) Select(f Filter) []int {
-	if s.idx != nil {
-		return s.selectIndexed(f)
+	rs := s.selectSet(f)
+	if rs.len() == 0 {
+		return nil
 	}
-	return s.SelectScan(f)
+	idx := make([]int, rs.len())
+	for j := range idx {
+		idx[j] = rs.row(j)
+	}
+	return idx
 }
 
 // SelectScan is the always-scan path, kept exported as the reference
@@ -59,8 +199,12 @@ func (s *Store) Select(f Filter) []int {
 // against.
 func (s *Store) SelectScan(f Filter) []int {
 	var idx []int
+	cf := s.compile(f)
+	if cf.impossible {
+		return nil
+	}
 	for i := 0; i < s.Len(); i++ {
-		if s.match(i, f) {
+		if s.matchCompiled(i, &cf) {
 			idx = append(idx, i)
 		}
 	}
@@ -69,10 +213,10 @@ func (s *Store) SelectScan(f Filter) []int {
 
 // Records returns materialized records passing the filter.
 func (s *Store) Records(f Filter) []JobRecord {
-	idx := s.Select(f)
-	out := make([]JobRecord, len(idx))
-	for p, i := range idx {
-		out[p] = s.Record(i)
+	rs := s.selectSet(f)
+	out := make([]JobRecord, rs.len())
+	for j := range out {
+		out[j] = s.Record(rs.row(j))
 	}
 	return out
 }
@@ -90,26 +234,48 @@ type Agg struct {
 }
 
 // Aggregate computes the node-hour-weighted aggregate of metric m over
-// rows passing the filter.
+// rows passing the filter, accumulating strictly in ascending row
+// order (the sequential reference the chunked parallel kernel's
+// equivalence tests compare against).
 func (s *Store) Aggregate(m Metric, f Filter) Agg {
-	col := s.cols[m]
+	col := s.col(m)
+	weight := s.c.weight
 	agg := Agg{Min: math.Inf(1), Max: math.Inf(-1)}
 	var sw, swx, plain float64
-	idx := s.Select(f)
-	for _, i := range idx {
-		w := s.nodeHours(i)
-		v := col[i]
-		sw += w
-		swx += w * v
-		plain += v
-		if v < agg.Min {
-			agg.Min = v
+	rs := s.selectSet(f)
+	n := rs.len()
+	if rs.all {
+		// Columnar fast path: no row-index indirection, two contiguous
+		// streams. Same accumulation order as the indirect loop below.
+		for i := 0; i < n; i++ {
+			w := weight[i]
+			v := col[i]
+			sw += w
+			swx += w * v
+			plain += v
+			if v < agg.Min {
+				agg.Min = v
+			}
+			if v > agg.Max {
+				agg.Max = v
+			}
 		}
-		if v > agg.Max {
-			agg.Max = v
+	} else {
+		for _, i := range rs.idx {
+			w := weight[i]
+			v := col[i]
+			sw += w
+			swx += w * v
+			plain += v
+			if v < agg.Min {
+				agg.Min = v
+			}
+			if v > agg.Max {
+				agg.Max = v
+			}
 		}
 	}
-	agg.N = len(idx)
+	agg.N = n
 	agg.NodeHours = sw
 	if agg.N == 0 {
 		agg.Mean, agg.StdDev, agg.Min, agg.Max = math.NaN(), math.NaN(), math.NaN(), math.NaN()
@@ -123,9 +289,16 @@ func (s *Store) Aggregate(m Metric, f Filter) Agg {
 	}
 	agg.Mean = swx / sw
 	var ss float64
-	for _, i := range idx {
-		d := col[i] - agg.Mean
-		ss += s.nodeHours(i) * d * d
+	if rs.all {
+		for i := 0; i < n; i++ {
+			d := col[i] - agg.Mean
+			ss += weight[i] * d * d
+		}
+	} else {
+		for _, i := range rs.idx {
+			d := col[i] - agg.Mean
+			ss += weight[i] * d * d
+		}
 	}
 	agg.StdDev = math.Sqrt(ss / sw)
 	return agg
@@ -143,20 +316,21 @@ const (
 	ByStatus
 )
 
-func (s *Store) key(i int, k GroupKey) string {
+// keyColumn returns the dictionary column behind a grouping dimension.
+func (s *Store) keyColumn(k GroupKey) *DictColumn {
 	switch k {
 	case ByUser:
-		return s.user[i]
+		return &s.c.User
 	case ByApp:
-		return s.app[i]
+		return &s.c.App
 	case ByScience:
-		return s.science[i]
+		return &s.c.Science
 	case ByCluster:
-		return s.cluster[i]
+		return &s.c.Cluster
 	case ByStatus:
-		return s.status[i]
+		return &s.c.Status
 	default:
-		return ""
+		return nil
 	}
 }
 
@@ -170,34 +344,50 @@ type Group struct {
 }
 
 // GroupBy computes node-hour-weighted means of the metrics per group,
-// over rows passing the filter, sorted by descending node-hours.
+// over rows passing the filter, sorted by descending node-hours. The
+// grouping runs over dictionary codes — one flat accumulator slot per
+// distinct value — instead of a string-keyed map.
 func (s *Store) GroupBy(k GroupKey, metrics []Metric, f Filter) []Group {
+	kc := s.keyColumn(k)
+	if kc == nil {
+		// Unknown dimension: one empty-keyed group over the selection,
+		// matching the old key(i)=="" behavior.
+		return s.groupByEmptyKey(metrics, f)
+	}
 	type acc struct {
 		n   int
 		sw  float64
-		swx map[Metric]float64
+		swx []float64 // parallel to metrics
 	}
-	accs := make(map[string]*acc)
-	for _, i := range s.Select(f) {
-		key := s.key(i, k)
-		a := accs[key]
-		if a == nil {
-			a = &acc{swx: make(map[Metric]float64)}
-			accs[key] = a
+	accs := make([]acc, len(kc.Values))
+	rs := s.selectSet(f)
+	cols := make([][]float64, len(metrics))
+	for j, m := range metrics {
+		cols[j] = s.col(m)
+	}
+	for j, n := 0, rs.len(); j < n; j++ {
+		i := rs.row(j)
+		a := &accs[kc.Codes[i]]
+		if a.swx == nil {
+			a.swx = make([]float64, len(metrics))
 		}
-		w := s.nodeHours(i)
+		w := s.c.weight[i]
 		a.n++
 		a.sw += w
-		for _, m := range metrics {
-			a.swx[m] += w * s.cols[m][i]
+		for mj, col := range cols {
+			a.swx[mj] += w * col[i]
 		}
 	}
 	out := make([]Group, 0, len(accs))
-	for key, a := range accs {
-		g := Group{Key: key, N: a.n, NodeHours: a.sw, Mean: make(map[Metric]float64)}
-		for _, m := range metrics {
+	for code := range accs {
+		a := &accs[code]
+		if a.n == 0 {
+			continue
+		}
+		g := Group{Key: kc.Values[code], N: a.n, NodeHours: a.sw, Mean: make(map[Metric]float64)}
+		for mj, m := range metrics {
 			if a.sw > 0 {
-				g.Mean[m] = a.swx[m] / a.sw
+				g.Mean[m] = a.swx[mj] / a.sw
 			} else {
 				g.Mean[m] = math.NaN()
 			}
@@ -213,13 +403,52 @@ func (s *Store) GroupBy(k GroupKey, metrics []Metric, f Filter) []Group {
 	return out
 }
 
+// groupByEmptyKey handles an out-of-range GroupKey: every selected row
+// lands in the "" bucket.
+func (s *Store) groupByEmptyKey(metrics []Metric, f Filter) []Group {
+	rs := s.selectSet(f)
+	if rs.len() == 0 {
+		return []Group{}
+	}
+	g := Group{Key: "", N: rs.len(), Mean: make(map[Metric]float64)}
+	swx := make([]float64, len(metrics))
+	for j, n := 0, rs.len(); j < n; j++ {
+		i := rs.row(j)
+		w := s.c.weight[i]
+		g.NodeHours += w
+		for mj, m := range metrics {
+			swx[mj] += w * s.col(m)[i]
+		}
+	}
+	for mj, m := range metrics {
+		if g.NodeHours > 0 {
+			g.Mean[m] = swx[mj] / g.NodeHours
+		} else {
+			g.Mean[m] = math.NaN()
+		}
+	}
+	return []Group{g}
+}
+
 // Values extracts metric m for rows passing the filter, paired with
 // node-hour weights (for weighted statistics and KDE inputs).
 func (s *Store) Values(m Metric, f Filter) (vals, weights []float64) {
-	col := s.cols[m]
-	for _, i := range s.Select(f) {
-		vals = append(vals, col[i])
-		weights = append(weights, s.nodeHours(i))
+	col := s.col(m)
+	rs := s.selectSet(f)
+	n := rs.len()
+	if n == 0 {
+		return nil, nil
+	}
+	vals = make([]float64, n)
+	weights = make([]float64, n)
+	if rs.all {
+		copy(vals, col[:n])
+		copy(weights, s.c.weight[:n])
+		return vals, weights
+	}
+	for j, i := range rs.idx {
+		vals[j] = col[i]
+		weights[j] = s.c.weight[i]
 	}
 	return vals, weights
 }
@@ -227,8 +456,15 @@ func (s *Store) Values(m Metric, f Filter) (vals, weights []float64) {
 // TotalNodeHours sums weights over the filtered rows.
 func (s *Store) TotalNodeHours(f Filter) float64 {
 	var sw float64
-	for _, i := range s.Select(f) {
-		sw += s.nodeHours(i)
+	rs := s.selectSet(f)
+	if rs.all {
+		for _, w := range s.c.weight[:rs.n] {
+			sw += w
+		}
+		return sw
+	}
+	for _, i := range rs.idx {
+		sw += s.c.weight[i]
 	}
 	return sw
 }

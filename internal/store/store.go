@@ -1,8 +1,9 @@
 // Package store is the embedded data warehouse standing in for the
 // paper's IBM Netezza appliance and MySQL database: job-level records
 // with the per-job metric summaries the SUPReMM analyses consume, held
-// in a column-oriented layout with filtering, grouping and node-hour-
-// weighted aggregation.
+// in a struct-of-arrays columnar layout (Columns) with filtering,
+// grouping and node-hour-weighted aggregation, plus a versioned binary
+// snapshot format (codec.go) for fast daemon loads.
 package store
 
 import (
@@ -85,7 +86,8 @@ func KeyMetrics() []Metric {
 	}
 }
 
-// AllMetrics returns every numeric column, for correlation analysis.
+// AllMetrics returns every numeric column, in the fixed order the
+// columnar layout and binary snapshot use (metricPos).
 func AllMetrics() []Metric {
 	return []Metric{
 		MetricCPUIdle, MetricCPUUser, MetricCPUSys, MetricMemUsed,
@@ -126,23 +128,12 @@ func (r *JobRecord) Value(m Metric) float64 {
 	}
 }
 
-// Store holds job records in a column-oriented layout: identity columns
-// as slices plus one float64 column per metric, which keeps aggregation
-// scans cache-friendly (see BenchmarkStoreColumnarVsRows).
+// Store holds job records in the struct-of-arrays Columns layout:
+// identity columns as contiguous slices (strings dictionary-encoded)
+// plus one float64 column per metric, which keeps aggregation scans
+// cache-friendly (see BenchmarkAggregateColumnar).
 type Store struct {
-	jobID   []int64
-	cluster []string
-	user    []string
-	app     []string
-	science []string
-	nodes   []int
-	submit  []int64
-	start   []int64
-	end     []int64
-	status  []string
-	samples []int
-
-	cols map[Metric][]float64
+	c Columns
 
 	// idx holds the secondary indexes built by BuildIndex; nil means
 	// every Select is a scan. Mutation invalidates it (see Add).
@@ -150,65 +141,44 @@ type Store struct {
 }
 
 // New creates an empty store.
-func New() *Store {
-	s := &Store{cols: make(map[Metric][]float64)}
-	for _, m := range AllMetrics() {
-		s.cols[m] = nil
-	}
-	return s
-}
+func New() *Store { return &Store{} }
 
 // Len returns the number of records.
-func (s *Store) Len() int { return len(s.jobID) }
+func (s *Store) Len() int { return s.c.Len() }
+
+// Columns exposes the struct-of-arrays layout for columnar kernels and
+// the binary codec. Callers must treat it as read-only; mutate through
+// Add.
+func (s *Store) Columns() *Columns { return &s.c }
+
+// FromColumns wraps a decoded columnar layout in a Store. The Columns
+// must have derived state populated (DecodeColumns does this); the
+// store takes ownership.
+func FromColumns(c *Columns) *Store { return &Store{c: *c} }
 
 // Add appends one record. Adding drops any index built by BuildIndex:
 // stale postings would silently exclude the new row, whereas a scan is
 // merely slower. Not safe concurrently with queries.
 func (s *Store) Add(r JobRecord) {
 	s.idx = nil
-	s.jobID = append(s.jobID, r.JobID)
-	s.cluster = append(s.cluster, r.Cluster)
-	s.user = append(s.user, r.User)
-	s.app = append(s.app, r.App)
-	s.science = append(s.science, r.Science)
-	s.nodes = append(s.nodes, r.Nodes)
-	s.submit = append(s.submit, r.Submit)
-	s.start = append(s.start, r.Start)
-	s.end = append(s.end, r.End)
-	s.status = append(s.status, r.Status)
-	s.samples = append(s.samples, r.Samples)
-	for _, m := range AllMetrics() {
-		s.cols[m] = append(s.cols[m], r.Value(m))
-	}
+	s.c.appendRecord(r)
 }
 
 // Record materializes row i back into a JobRecord.
-func (s *Store) Record(i int) JobRecord {
-	r := JobRecord{
-		JobID: s.jobID[i], Cluster: s.cluster[i], User: s.user[i],
-		App: s.app[i], Science: s.science[i], Nodes: s.nodes[i],
-		Submit: s.submit[i], Start: s.start[i], End: s.end[i],
-		Status: s.status[i], Samples: s.samples[i],
+func (s *Store) Record(i int) JobRecord { return s.c.record(i) }
+
+// col returns the metric column, or nil for an unknown metric name
+// (matching the old map-lookup behavior).
+func (s *Store) col(m Metric) []float64 {
+	pos := metricPos(m)
+	if pos < 0 {
+		return nil
 	}
-	r.CPUIdleFrac = s.cols[MetricCPUIdle][i]
-	r.CPUUserFrac = s.cols[MetricCPUUser][i]
-	r.CPUSysFrac = s.cols[MetricCPUSys][i]
-	r.MemUsedGB = s.cols[MetricMemUsed][i]
-	r.MemUsedMaxGB = s.cols[MetricMemUsedMax][i]
-	r.FlopsGF = s.cols[MetricFlops][i]
-	r.ScratchWriteMB = s.cols[MetricScratchWrite][i]
-	r.WorkWriteMB = s.cols[MetricWorkWrite][i]
-	r.ReadMB = s.cols[MetricRead][i]
-	r.IBTxMB = s.cols[MetricIBTx][i]
-	r.IBRxMB = s.cols[MetricIBRx][i]
-	r.LnetTxMB = s.cols[MetricLnetTx][i]
-	return r
+	return s.c.Metrics[pos]
 }
 
 // nodeHours returns the §4.1 weight for row i.
-func (s *Store) nodeHours(i int) float64 {
-	return float64(s.nodes[i]) * float64(s.end[i]-s.start[i]) / 3600
-}
+func (s *Store) nodeHours(i int) float64 { return s.c.weight[i] }
 
 // Save writes the store as JSON lines.
 func (s *Store) Save(w io.Writer) error {
@@ -244,12 +214,12 @@ func (s *Store) SortByJobID() {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return s.jobID[idx[a]] < s.jobID[idx[b]] })
+	sort.Slice(idx, func(a, b int) bool { return s.c.JobID[idx[a]] < s.c.JobID[idx[b]] })
 	recs := make([]JobRecord, s.Len())
 	for pos, i := range idx {
 		recs[pos] = s.Record(i)
 	}
-	*s = *New()
+	*s = Store{}
 	for _, r := range recs {
 		s.Add(r)
 	}
