@@ -1,7 +1,7 @@
 # Convenience targets for the SUPReMM reproduction.
 GO ?= go
 
-.PHONY: all build test test-race vet lint fuzz-smoke test-faults test-serve test-store bench bench-ingest bench-serve bench-store figures dashboard clean
+.PHONY: all build test test-race vet lint lint-fast fuzz-smoke test-faults test-serve test-store bench bench-ingest bench-serve bench-store figures dashboard clean
 
 all: build vet lint test test-race
 
@@ -11,11 +11,36 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific invariants (counter deltas, determinism, hot-path
-# allocations, dropped writer errors) enforced by the supremmlint suite;
-# see DESIGN.md "Static analysis".
+# Project-specific invariants enforced by the nine-analyzer supremmlint
+# suite — counter deltas, determinism, hot-path allocations, dropped
+# writer errors, plus the flow-sensitive passes (lock release, snapshot
+# immutability after publish, untrusted decode lengths, resource
+# close-on-every-path) and the stale-allow sweep. The summary line
+# prints the wall-clock the suite took; CI records it per push. See
+# DESIGN.md "Static analysis" and "Flow-sensitive analysis".
 lint:
 	$(GO) run ./cmd/supremmlint ./...
+
+# Fast pre-push loop: lint only the packages whose .go files changed
+# since the origin/main merge base (committed or not). Falls back to
+# the full suite when the merge base is unavailable (fresh clone, no
+# origin remote). CI always runs the full `make lint`.
+lint-fast:
+	@base=$$(git merge-base origin/main HEAD 2>/dev/null); \
+	if [ -z "$$base" ]; then \
+		echo "lint-fast: no origin/main merge base, running full lint"; \
+		$(GO) run ./cmd/supremmlint ./...; exit $$?; \
+	fi; \
+	dirs=""; \
+	for d in $$(git diff --name-only $$base -- '*.go' | xargs -r -n1 dirname | sort -u); do \
+		case $$d in *testdata*) continue ;; esac; \
+		[ -d "$$d" ] && dirs="$$dirs ./$$d"; \
+	done; \
+	if [ -z "$$dirs" ]; then \
+		echo "lint-fast: no Go packages changed since origin/main"; exit 0; \
+	fi; \
+	echo "lint-fast:$$dirs"; \
+	$(GO) run ./cmd/supremmlint $$dirs
 
 # Quick fuzz regression pass: replays the committed seed corpora plus a
 # short budget of new inputs against the raw-format parsers and the

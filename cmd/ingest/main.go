@@ -48,13 +48,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: ingest -raw DIR -acct FILE [-out DIR] [-workers N] [-strict] [-max-interval SEC] [-retries N] [-cpuprofile FILE] [-memprofile FILE]")
 		os.Exit(2)
 	}
+	var profFile *os.File
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ingest:", err)
 			os.Exit(1)
 		}
+		profFile = f
 		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
 			fmt.Fprintln(os.Stderr, "ingest:", err)
 			os.Exit(1)
 		}
@@ -71,8 +74,11 @@ func main() {
 			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
 		},
 	})
-	if *cpuprofile != "" {
+	if profFile != nil {
 		pprof.StopCPUProfile()
+		if cerr := profFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	if *memprofile != "" {
 		if perr := writeHeapProfile(*memprofile); perr != nil && err == nil {

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module named supremm so the suite's
+// package scopes ("supremm/internal/serve", ...) apply to the fixture
+// packages.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module supremm\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const seededServe = `package serve
+
+import "sync"
+
+type Server struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bad leaks the mutex on the early return.
+func (s *Server) Bad() int {
+	s.mu.Lock()
+	if s.n > 0 {
+		return s.n
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// Good releases on every path.
+func (s *Server) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n //supremmlint:allow walltime: nothing here ever fired this
+}
+`
+
+func TestRunReportsSeededViolationAndStaleAllow(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/serve/serve.go": seededServe,
+	})
+	var out, errw bytes.Buffer
+	diags, err := run(dir, []string{"./..."}, false, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var sawLock, sawStale bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lockcheck":
+			sawLock = true
+			if !strings.Contains(d.Message, "s.mu.Lock is not released") {
+				t.Errorf("lockcheck message = %q", d.Message)
+			}
+		case "staleallow":
+			sawStale = true
+			if !strings.Contains(d.Message, "walltime") {
+				t.Errorf("staleallow message = %q", d.Message)
+			}
+		default:
+			t.Errorf("unexpected analyzer %s: %s", d.Analyzer, d.Message)
+		}
+	}
+	if !sawLock {
+		t.Error("seeded lockcheck violation not reported")
+	}
+	if !sawStale {
+		t.Error("stale walltime allow not reported")
+	}
+	if !strings.Contains(out.String(), "supremmlint:") {
+		t.Errorf("summary missing from output: %q", out.String())
+	}
+	if !strings.Contains(out.String(), " in ") {
+		t.Errorf("summary missing timing: %q", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/serve/serve.go": seededServe,
+	})
+	var out, errw bytes.Buffer
+	diags, err := run(dir, []string{"./..."}, true, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var records []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &records); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(records) != len(diags) {
+		t.Fatalf("JSON has %d records, run returned %d diagnostics", len(records), len(diags))
+	}
+	for _, r := range records {
+		if r.File != filepath.Join("internal", "serve", "serve.go") {
+			t.Errorf("file not relativized to module dir: %q", r.File)
+		}
+		if r.Line <= 0 || r.Column <= 0 || r.Analyzer == "" || r.Message == "" {
+			t.Errorf("incomplete record: %+v", r)
+		}
+	}
+	// The summary moves to stderr so stdout stays parseable.
+	if strings.Contains(out.String(), "packages checked") {
+		t.Error("summary leaked into JSON stdout")
+	}
+	if !strings.Contains(errw.String(), "packages checked") {
+		t.Errorf("summary missing from stderr: %q", errw.String())
+	}
+}
+
+func TestRunCleanFixtureHasNoFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/serve/serve.go": `package serve
+
+import "sync"
+
+type Server struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Server) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+`,
+	})
+	var out, errw bytes.Buffer
+	diags, err := run(dir, []string{"./..."}, false, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("clean fixture produced findings: %v", diags)
+	}
+}

@@ -1,0 +1,594 @@
+// Package cfg builds per-function control-flow graphs for the
+// flow-sensitive supremmlint analyzers, on top of go/ast alone (the
+// canonical golang.org/x/tools/go/cfg is unavailable in the no-network
+// build container).
+//
+// A Graph has one Block per straight-line statement run plus three
+// synthetic blocks: Entry, Exit (every `return` and the fall-off end of
+// the body) and Panic (every explicit `panic(...)` statement). Branch
+// blocks carry their condition expression and distinguish their true
+// and false out-edges, so analyses can refine state per branch (the
+// `err != nil` split deferclose relies on). Calls the caller declares
+// non-returning (os.Exit, log.Fatal) terminate their block with no
+// out-edge at all: state held there reaches no exit, which is exactly
+// right for process-death paths where deferred cleanup never runs.
+//
+// Statement granularity: control statements are decomposed (an if
+// contributes its init and cond to the branch block; bodies get their
+// own blocks), everything else is appended to the current block as one
+// node. Nested function literals are *not* part of the enclosing
+// graph — their bodies are separate functions with separate graphs —
+// so analyzers walk block nodes with Inspect, which prunes them.
+//
+// Forward runs a classic iterative forward-dataflow fixpoint over a
+// graph; see its doc for the lattice contract.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// EdgeKind distinguishes branch edges from plain fallthrough edges.
+type EdgeKind uint8
+
+const (
+	// EdgeNormal is an unconditional successor edge.
+	EdgeNormal EdgeKind = iota
+	// EdgeTrue is taken when the block's Cond evaluated true.
+	EdgeTrue
+	// EdgeFalse is taken when the block's Cond evaluated false.
+	EdgeFalse
+)
+
+// Edge is one directed control-flow edge.
+type Edge struct {
+	To   *Block
+	Kind EdgeKind
+}
+
+// Block is a straight-line run of statements with no internal control
+// transfer.
+type Block struct {
+	Index int
+	// Kind labels the block's origin for debugging ("entry", "if.then",
+	// "for.head", ...).
+	Kind string
+	// Nodes are the statements (and decomposed control expressions)
+	// executed in order. Control statements are never included whole;
+	// their pieces are.
+	Nodes []ast.Node
+	// Cond is the branch condition evaluated after Nodes, when the
+	// block ends in a two-way branch (if/for conditions). Its EdgeTrue
+	// and EdgeFalse out-edges are then meaningful.
+	Cond ast.Expr
+	// Out are the successor edges; In the predecessor blocks.
+	Out []Edge
+	In  []*Block
+	// Reachable is set when the block can be reached from Entry.
+	Reachable bool
+}
+
+// Succs returns the successor blocks (edge targets in order).
+func (b *Block) Succs() []*Block {
+	out := make([]*Block, len(b.Out))
+	for i, e := range b.Out {
+		out[i] = e.To
+	}
+	return out
+}
+
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "b%d(%s)", b.Index, b.Kind)
+	return sb.String()
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Body is the function body the graph was built from.
+	Body *ast.BlockStmt
+	// Blocks holds every block, Entry first.
+	Blocks []*Block
+	// Entry is the synthetic entry block (it may also carry the first
+	// run of statements).
+	Entry *Block
+	// Exit is the synthetic normal-exit block: every return statement
+	// and the fall-off end of the body flow here. It has no nodes.
+	Exit *Block
+	// Panic is the synthetic panic-exit block: every explicit
+	// `panic(...)` statement flows here. Deferred functions still run
+	// on these paths, unlike the no-out-edge process-death blocks.
+	Panic *Block
+}
+
+// Options configures graph construction.
+type Options struct {
+	// NoReturn reports whether a call never returns control (os.Exit,
+	// log.Fatal). Such calls terminate their block with no out-edges.
+	// Nil means no calls are treated as non-returning.
+	NoReturn func(*ast.CallExpr) bool
+}
+
+// New builds the graph for a function body. A nil body (declarations
+// without bodies) yields a graph whose Entry connects straight to Exit.
+func New(body *ast.BlockStmt, opt Options) *Graph {
+	g := &Graph{Body: body}
+	b := &builder{g: g, opt: opt, labels: make(map[string]*labelInfo)}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	g.Panic = b.newBlock("panic")
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, g.Exit, EdgeNormal)
+	}
+	g.markReachable()
+	return g
+}
+
+// markReachable flags every block reachable from Entry.
+func (g *Graph) markReachable() {
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if b.Reachable {
+			return
+		}
+		b.Reachable = true
+		for _, e := range b.Out {
+			visit(e.To)
+		}
+	}
+	visit(g.Entry)
+}
+
+// labelInfo tracks one label's target block and, when the labeled
+// statement is a loop or switch, its break/continue destinations.
+type labelInfo struct {
+	start *Block // the labeled statement's block (goto target)
+	brk   *Block // break <label> target (set when the label wraps a loop/switch/select)
+	cont  *Block // continue <label> target (loops only)
+}
+
+type builder struct {
+	g   *Graph
+	opt Options
+	cur *Block // nil while the current point is unreachable (after return/goto)
+
+	labels map[string]*labelInfo
+	// pendingLabel is the label wrapping the next loop/switch statement,
+	// so its break/continue targets can be recorded.
+	pendingLabel *labelInfo
+
+	breakStack    []*Block
+	continueStack []*Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, kind EdgeKind) {
+	from.Out = append(from.Out, Edge{To: to, Kind: kind})
+	to.In = append(to.In, from)
+}
+
+// add appends a node to the current block (dropped while unreachable).
+func (b *builder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) label(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{start: b.newBlock("label." + name)}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a loop/switch statement and
+// registers its break (and optionally continue) targets.
+func (b *builder) takeLabel(brk, cont *Block) {
+	if b.pendingLabel != nil {
+		b.pendingLabel.brk = brk
+		b.pendingLabel.cont = cont
+		b.pendingLabel = nil
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, li.start, EdgeNormal)
+		}
+		b.cur = li.start
+		b.pendingLabel = li
+		b.stmt(s.Stmt)
+		b.pendingLabel = nil
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.edge(b.cur, b.g.Exit, EdgeNormal)
+			b.cur = nil
+		}
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.switchBody(s.Body, s.Assign)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.cur != nil {
+			if isPanicCall(call) {
+				b.edge(b.cur, b.g.Panic, EdgeNormal)
+				b.cur = nil
+			} else if b.opt.NoReturn != nil && b.opt.NoReturn(call) {
+				// Process death: no out-edge, deferred cleanup never runs.
+				b.cur = nil
+			}
+		}
+
+	default:
+		// Assignments, declarations, sends, defers, go statements,
+		// inc/dec, empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	if b.cur == nil {
+		return
+	}
+	switch s.Tok {
+	case token.BREAK:
+		var target *Block
+		if s.Label != nil {
+			target = b.label(s.Label.Name).brk
+		} else if n := len(b.breakStack); n > 0 {
+			target = b.breakStack[n-1]
+		}
+		if target != nil {
+			b.edge(b.cur, target, EdgeNormal)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		var target *Block
+		if s.Label != nil {
+			target = b.label(s.Label.Name).cont
+		} else if n := len(b.continueStack); n > 0 {
+			target = b.continueStack[n-1]
+		}
+		if target != nil {
+			b.edge(b.cur, target, EdgeNormal)
+		}
+		b.cur = nil
+	case token.GOTO:
+		b.edge(b.cur, b.label(s.Label.Name).start, EdgeNormal)
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Connected by switchBody; the statement itself is a no-op node.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	then := b.newBlock("if.then")
+	after := b.newBlock("if.after")
+	if head != nil {
+		head.Cond = s.Cond
+		b.edge(head, then, EdgeTrue)
+	}
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock("if.else")
+		if head != nil {
+			b.edge(head, els, EdgeFalse)
+		}
+	} else if head != nil {
+		b.edge(head, after, EdgeFalse)
+	}
+	b.cur = then
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, after, EdgeNormal)
+	}
+	if s.Else != nil {
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, after, EdgeNormal)
+		}
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	after := b.newBlock("for.after")
+	contTarget := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head, EdgeNormal)
+		contTarget = post
+	}
+	if b.cur != nil {
+		b.edge(b.cur, head, EdgeNormal)
+	}
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Cond = s.Cond
+		b.edge(head, body, EdgeTrue)
+		b.edge(head, after, EdgeFalse)
+	} else {
+		b.edge(head, body, EdgeNormal)
+	}
+	b.takeLabel(after, contTarget)
+	b.breakStack = append(b.breakStack, after)
+	b.continueStack = append(b.continueStack, contTarget)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, contTarget, EdgeNormal)
+	}
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.continueStack = b.continueStack[:len(b.continueStack)-1]
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	head := b.newBlock("range.head")
+	// The range expression (and its key/value binding) evaluates at the
+	// head; analyzers see the whole RangeStmt there but must not walk
+	// its Body, which lives in its own blocks (Inspect handles this).
+	head.Nodes = append(head.Nodes, s.X)
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.after")
+	if b.cur != nil {
+		b.edge(b.cur, head, EdgeNormal)
+	}
+	b.edge(head, body, EdgeNormal)
+	b.edge(head, after, EdgeNormal)
+	b.takeLabel(after, head)
+	b.breakStack = append(b.breakStack, after)
+	b.continueStack = append(b.continueStack, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, head, EdgeNormal)
+	}
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.continueStack = b.continueStack[:len(b.continueStack)-1]
+	b.cur = after
+}
+
+// switchBody builds expression and type switches: head fans out to one
+// block per case clause; a missing default adds a head→after edge.
+func (b *builder) switchBody(body *ast.BlockStmt, assign ast.Stmt) {
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	after := b.newBlock("switch.after")
+	b.takeLabel(after, nil)
+	b.breakStack = append(b.breakStack, after)
+	hasDefault := false
+	var clauseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, cc)
+		cb := b.newBlock("case")
+		for _, e := range cc.List {
+			cb.Nodes = append(cb.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if head != nil {
+			b.edge(head, cb, EdgeNormal)
+		}
+		clauseBlocks = append(clauseBlocks, cb)
+	}
+	if head != nil && !hasDefault {
+		b.edge(head, after, EdgeNormal)
+	}
+	for i, cc := range clauses {
+		b.cur = clauseBlocks[i]
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			if i+1 < len(clauseBlocks) && endsInFallthrough(cc.Body) {
+				b.edge(b.cur, clauseBlocks[i+1], EdgeNormal)
+			} else {
+				b.edge(b.cur, after, EdgeNormal)
+			}
+		}
+	}
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.cur = after
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	for len(body) > 0 {
+		last := body[len(body)-1]
+		if ls, ok := last.(*ast.LabeledStmt); ok {
+			body = []ast.Stmt{ls.Stmt}
+			continue
+		}
+		br, ok := last.(*ast.BranchStmt)
+		return ok && br.Tok == token.FALLTHROUGH
+	}
+	return false
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	head := b.cur
+	after := b.newBlock("select.after")
+	b.takeLabel(after, nil)
+	b.breakStack = append(b.breakStack, after)
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cb := b.newBlock("comm")
+		if cc.Comm != nil {
+			cb.Nodes = append(cb.Nodes, cc.Comm)
+		}
+		if head != nil {
+			b.edge(head, cb, EdgeNormal)
+		}
+		b.cur = cb
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after, EdgeNormal)
+		}
+	}
+	// A select never falls through its head: control leaves only
+	// through a clause (an empty select blocks forever).
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.cur = after
+}
+
+// isPanicCall recognizes a direct call to the predeclared panic. A
+// shadowed panic would be misclassified; no reasonable code shadows it.
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Inspect walks n like ast.Inspect but does not descend into nested
+// function literals: their statements belong to their own graphs, not
+// the enclosing function's blocks.
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && x != n {
+			return false
+		}
+		return f(x)
+	})
+}
+
+// Transfer is the lattice contract for Forward.
+type Transfer[S any] struct {
+	// Flow computes the state after executing b's nodes from the state
+	// on entry to b. It must return a fresh value and leave in intact.
+	Flow func(b *Block, in S) S
+	// Edge optionally refines the out-state along one edge (branch
+	// sensitivity: the err != nil split). It must return a fresh value.
+	// Nil means no refinement.
+	Edge func(b *Block, e Edge, out S) S
+	// Join merges two states flowing into the same block. It must
+	// return a fresh value.
+	Join func(a, b S) S
+	// Equal reports lattice-value equality, ending the iteration.
+	Equal func(a, b S) bool
+}
+
+// Forward computes the forward-dataflow fixpoint over g's reachable
+// blocks: in(Entry) = boundary, in(b) = join of the (edge-refined)
+// out-states of b's predecessors. It returns the in-state of every
+// reachable block; the in-states of g.Exit and g.Panic are the states
+// at the function's normal and panicking exits. The lattice must be
+// finite-height (sets/bitmasks over program facts) or iteration is
+// capped without converging.
+func Forward[S any](g *Graph, boundary S, tr Transfer[S]) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	in[g.Entry] = boundary
+	// Tiny graphs: round-robin iteration converges in a few sweeps.
+	maxSweeps := 2*len(g.Blocks) + 8
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		for _, b := range g.Blocks {
+			if !b.Reachable {
+				continue
+			}
+			state, seeded := in[b]
+			if !seeded && b != g.Entry {
+				continue // no predecessor state has arrived yet
+			}
+			out := tr.Flow(b, state)
+			for _, e := range b.Out {
+				eo := out
+				if tr.Edge != nil {
+					eo = tr.Edge(b, e, out)
+				}
+				prev, ok := in[e.To]
+				var next S
+				if ok {
+					next = tr.Join(prev, eo)
+				} else {
+					next = eo
+				}
+				if !ok || !tr.Equal(prev, next) {
+					in[e.To] = next
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in
+}

@@ -1,0 +1,399 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src (a file body containing one function named fn)
+// and returns that function's graph.
+func buildFunc(t *testing.T, src, fn string, opt Options) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return New(fd.Body, opt), fset
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil
+}
+
+// exitPreds returns the Kind labels of the blocks flowing into blk.
+func kinds(blocks []*Block) []string {
+	var out []string
+	for _, b := range blocks {
+		out = append(out, b.Kind)
+	}
+	return out
+}
+
+func TestStraightLine(t *testing.T) {
+	g, _ := buildFunc(t, `func f() { x := 1; _ = x }`, "f", Options{})
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry has %d nodes, want 2", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Out) != 1 || g.Entry.Out[0].To != g.Exit {
+		t.Fatalf("entry should flow straight to exit, got %v", kinds(g.Entry.Succs()))
+	}
+	if !g.Exit.Reachable {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestIfBranchEdges(t *testing.T) {
+	g, _ := buildFunc(t, `func f(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 0
+	}
+}`, "f", Options{})
+	if g.Entry.Cond == nil {
+		t.Fatal("entry should carry the branch condition")
+	}
+	var sawTrue, sawFalse bool
+	for _, e := range g.Entry.Out {
+		switch e.Kind {
+		case EdgeTrue:
+			sawTrue = true
+		case EdgeFalse:
+			sawFalse = true
+		}
+	}
+	if !sawTrue || !sawFalse {
+		t.Fatalf("want true+false edges, got %+v", g.Entry.Out)
+	}
+	// Both returns flow into Exit; the if.after block is unreachable
+	// (its fall-off edge exists but carries no reachable state).
+	reachablePreds := 0
+	for _, p := range g.Exit.In {
+		if p.Reachable {
+			reachablePreds++
+		}
+	}
+	if reachablePreds != 2 {
+		t.Fatalf("exit has %d reachable preds, want 2 (%v)", reachablePreds, kinds(g.Exit.In))
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == "if.after" && b.Reachable {
+			t.Fatal("if.after should be unreachable (both branches return)")
+		}
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g, _ := buildFunc(t, `func f() {
+	for i := 0; i < 10; i++ {
+		if i == 5 {
+			break
+		}
+	}
+}`, "f", Options{})
+	var head, post *Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "for.head":
+			head = b
+		case "for.post":
+			post = b
+		}
+	}
+	if head == nil || post == nil {
+		t.Fatal("missing for.head/for.post blocks")
+	}
+	if head.Cond == nil {
+		t.Fatal("loop head should carry the condition")
+	}
+	found := false
+	for _, e := range post.Out {
+		if e.To == head {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no back edge from post to head")
+	}
+	if !g.Exit.Reachable {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g, _ := buildFunc(t, `func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`, "f", Options{})
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no range.head")
+	}
+	if len(head.Out) != 2 {
+		t.Fatalf("range head should have body+after edges, got %d", len(head.Out))
+	}
+}
+
+func TestPanicEdge(t *testing.T) {
+	g, _ := buildFunc(t, `func f(c bool) {
+	if c {
+		panic("boom")
+	}
+}`, "f", Options{})
+	if !g.Panic.Reachable {
+		t.Fatal("panic exit unreachable")
+	}
+	if len(g.Panic.In) != 1 {
+		t.Fatalf("panic exit has %d preds, want 1", len(g.Panic.In))
+	}
+	if !g.Exit.Reachable {
+		t.Fatal("normal exit should still be reachable")
+	}
+}
+
+func TestNoReturnCallCutsFlow(t *testing.T) {
+	src := `func f(c bool) {
+	if c {
+		exit(1)
+	}
+	probe()
+}`
+	noReturn := func(call *ast.CallExpr) bool {
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "exit"
+	}
+	g, _ := buildFunc(t, src, "f", Options{NoReturn: noReturn})
+	// The exit(1) block must have no out-edges: its state reaches no
+	// function exit.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "exit" {
+				if len(b.Out) != 0 {
+					t.Fatalf("no-return block has %d out edges", len(b.Out))
+				}
+			}
+		}
+	}
+	if !g.Exit.Reachable {
+		t.Fatal("exit should be reachable via the c==false path")
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g, _ := buildFunc(t, `func f(x int) int {
+	switch x {
+	case 1:
+		fallthrough
+	case 2:
+		return 2
+	default:
+		return 3
+	}
+}`, "f", Options{})
+	var caseBlocks []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "case" {
+			caseBlocks = append(caseBlocks, b)
+		}
+	}
+	if len(caseBlocks) != 3 {
+		t.Fatalf("got %d case blocks, want 3", len(caseBlocks))
+	}
+	// case 1 falls through to case 2's block.
+	found := false
+	for _, e := range caseBlocks[0].Out {
+		if e.To == caseBlocks[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fallthrough edge missing")
+	}
+	// With a default present, the head has no direct edge to after.
+	for _, e := range g.Entry.Out {
+		if e.To.Kind == "switch.after" {
+			t.Fatal("head should not reach switch.after when default exists")
+		}
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g, _ := buildFunc(t, `func f(c bool) {
+top:
+	if c {
+		goto done
+	}
+	goto top
+done:
+	return
+}`, "f", Options{})
+	if !g.Exit.Reachable {
+		t.Fatal("exit unreachable through goto chain")
+	}
+	var top *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.top" {
+			top = b
+		}
+	}
+	if top == nil || len(top.In) != 2 {
+		t.Fatalf("label.top should have 2 preds (entry + backward goto), got %v", top)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g, _ := buildFunc(t, `func f() {
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				continue outer
+			}
+			break outer
+		}
+	}
+}`, "f", Options{})
+	if !g.Exit.Reachable {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g, _ := buildFunc(t, `func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+	}
+	return 0
+}`, "f", Options{})
+	comms := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "comm" {
+			comms++
+		}
+	}
+	if comms != 2 {
+		t.Fatalf("got %d comm blocks, want 2", comms)
+	}
+	if !g.Exit.Reachable {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestInspectPrunesFuncLit(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", `package p
+func f() {
+	g := func() { inner() }
+	g()
+}`, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			for _, s := range fd.Body.List {
+				Inspect(s, func(x ast.Node) bool {
+					if c, ok := x.(*ast.CallExpr); ok {
+						if id, ok := c.Fun.(*ast.Ident); ok {
+							calls = append(calls, id.Name)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	if strings.Join(calls, ",") != "g" {
+		t.Fatalf("Inspect should see only the outer call, got %v", calls)
+	}
+}
+
+// TestForwardFixpoint runs a tiny may-analysis: which string facts have
+// been "set" on some path. It checks branch-edge refinement too.
+func TestForwardFixpoint(t *testing.T) {
+	g, _ := buildFunc(t, `func f(c bool) {
+	set("a")
+	if c {
+		set("b")
+		return
+	}
+	set("c")
+}`, "f", Options{})
+
+	type S = map[string]bool
+	clone := func(s S) S {
+		out := make(S, len(s))
+		for k := range s {
+			out[k] = true
+		}
+		return out
+	}
+	states := Forward(g, S{}, Transfer[S]{
+		Flow: func(b *Block, in S) S {
+			out := clone(in)
+			for _, n := range b.Nodes {
+				Inspect(n, func(x ast.Node) bool {
+					call, ok := x.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "set" {
+						if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+							out[strings.Trim(lit.Value, `"`)] = true
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+		Join: func(a, b S) S {
+			out := clone(a)
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b S) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	exit := states[g.Exit]
+	if !exit["a"] || !exit["b"] || !exit["c"] {
+		t.Fatalf("exit state missing facts: %v", exit)
+	}
+}

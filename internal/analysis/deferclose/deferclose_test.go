@@ -1,0 +1,12 @@
+package deferclose_test
+
+import (
+	"testing"
+
+	"supremm/internal/analysis/analysistest"
+	"supremm/internal/analysis/deferclose"
+)
+
+func TestDeferClose(t *testing.T) {
+	analysistest.Run(t, deferclose.Analyzer, "deferclose")
+}

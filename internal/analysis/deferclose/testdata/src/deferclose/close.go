@@ -1,0 +1,143 @@
+// Package deferclose seeds leaked-resource violations alongside the
+// ownership idioms the analyzer must accept.
+package deferclose
+
+import (
+	"io"
+	"os"
+)
+
+var sink *os.File
+
+// leakOnEarlyReturn forgets the close on the short-file path.
+func leakOnEarlyReturn(p string) ([]byte, error) {
+	f, err := os.Open(p) // want `not closed on every path out of leakOnEarlyReturn`
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, nil
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	return data, err
+}
+
+// deferredIsFine is the preferred idiom.
+func deferredIsFine(p string) ([]byte, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// errPathNeedsNoClose: a failed open returns no resource.
+func errPathNeedsNoClose(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// closeCapturedByErr: error-capturing close still discharges.
+func closeCapturedByErr(p string) error {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		f.Close()
+		return err
+	}
+	closeErr := f.Close()
+	return closeErr
+}
+
+// returnTransfersOwnership: the caller closes.
+func returnTransfersOwnership(p string) (*os.File, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// assignTransfersOwnership: stashing the handle in a package variable
+// hands it to whoever manages that variable.
+func assignTransfersOwnership(p string) error {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	sink = f
+	return nil
+}
+
+// lendingIsNotTransfer: passing the handle to a reader does not move
+// the close obligation — and this function drops it.
+func lendingIsNotTransfer(p string) error {
+	f, err := os.Open(p) // want `not closed on every path out of lendingIsNotTransfer`
+	if err != nil {
+		return err
+	}
+	_, err = io.ReadAll(f)
+	return err
+}
+
+// panicLeaks: the panic edge skips the close.
+func panicLeaks(p string) []byte {
+	f, err := os.Open(p) // want `a panic path leaks it`
+	if err != nil {
+		panic(err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		panic(err)
+	}
+	f.Close()
+	return data
+}
+
+// discardedErrStillOwes: ignoring the open error does not waive the
+// close.
+func discardedErrStillOwes(p string) {
+	f, _ := os.Open(p) // want `not closed on every path out of discardedErrStillOwes`
+	_ = f
+}
+
+// closureMayClose: a handle captured by a function literal is the
+// closure's business.
+func closureMayClose(p string) (func(), error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return func() { f.Close() }, nil
+}
+
+// goroutineTakesOwnership: the spawned goroutine closes it.
+func goroutineTakesOwnership(p string, work func(*os.File)) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	go work(f)
+	return nil
+}
+
+// pidFileHeldUntilExit records the reviewed exception.
+func pidFileHeldUntilExit(p string) error {
+	f, err := os.Create(p) //supremmlint:allow deferclose: pid file held for process lifetime, closed by the OS
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteString("1")
+	return err
+}

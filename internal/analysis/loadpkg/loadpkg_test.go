@@ -4,6 +4,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -84,7 +85,99 @@ func Hello() string { return fmt.Sprintf("%d", 42) }
 
 func writeFile(t *testing.T, path, content string) {
 	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// tempModule lays out a throwaway module for failure-mode tests.
+func tempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.24\n")
+	for name, src := range files {
+		writeFile(t, filepath.Join(dir, name), src)
+	}
+	return dir
+}
+
+// TestCheckDirSyntaxErrorFailsLoudly: a broken testdata file must
+// surface as an error, never as a silently smaller package.
+func TestCheckDirSyntaxErrorFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "bad.go"), "package a\n\nfunc Broken( {\n")
+	l := New(moduleRoot(t))
+	if _, err := l.CheckDir(dir, "a"); err == nil {
+		t.Fatal("CheckDir succeeded on a file with a syntax error")
+	}
+}
+
+// TestCheckDirTypeErrorFailsLoudly: type errors in testdata packages
+// must fail the load, not produce partial type information.
+func TestCheckDirTypeErrorFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "bad.go"), "package a\n\nfunc F() int { return \"not an int\" }\n")
+	l := New(moduleRoot(t))
+	if _, err := l.CheckDir(dir, "a"); err == nil {
+		t.Fatal("CheckDir succeeded on a package with a type error")
+	}
+}
+
+// TestLoadSyntaxErrorFailsLoudly: go list does not parse function
+// bodies, so the loader's own parse step must catch body-level syntax
+// errors and name the package.
+func TestLoadSyntaxErrorFailsLoudly(t *testing.T) {
+	dir := tempModule(t, map[string]string{
+		"pkg/bad.go": "package pkg\n\nfunc Broken( {\n",
+	})
+	l := New(dir)
+	_, err := l.Load("./pkg")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a syntax error")
+	}
+	if !strings.Contains(err.Error(), "pkg") {
+		t.Errorf("error does not name the failing package: %v", err)
+	}
+}
+
+// TestLoadBuildTagVariant: files excluded by build constraints are the
+// go tool's decision — the loader honors the file list go list
+// computes and type-checks what remains.
+func TestLoadBuildTagVariant(t *testing.T) {
+	dir := tempModule(t, map[string]string{
+		"pkg/a.go": "package pkg\n\nfunc A() int { return 1 }\n",
+		"pkg/b_tagged.go": "//go:build someotherplatform\n\npackage pkg\n\n" +
+			"func B() { callsSomethingUndefined() }\n",
+	})
+	l := New(dir)
+	pkgs, err := l.Load("./pkg")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	scope := pkgs[0].Types.Scope()
+	if scope.Lookup("A") == nil {
+		t.Error("A missing from package scope")
+	}
+	if scope.Lookup("B") != nil {
+		t.Error("build-tag-excluded B leaked into the package scope")
+	}
+}
+
+// TestLoadCgoOnlyPackageFailsLoudly: the loader pins CGO_ENABLED=0; a
+// package left with no buildable files must be a loud error, not an
+// empty success.
+func TestLoadCgoOnlyPackageFailsLoudly(t *testing.T) {
+	dir := tempModule(t, map[string]string{
+		"pkg/c.go": "package pkg\n\nimport \"C\"\n\nfunc UsesCgo() {}\n",
+	})
+	l := New(dir)
+	if _, err := l.Load("./pkg"); err == nil {
+		t.Fatal("Load succeeded on a cgo-only package under CGO_ENABLED=0")
 	}
 }

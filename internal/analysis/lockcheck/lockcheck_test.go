@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"supremm/internal/analysis/analysistest"
+	"supremm/internal/analysis/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "lockcheck")
+}

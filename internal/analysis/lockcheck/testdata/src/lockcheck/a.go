@@ -1,0 +1,78 @@
+// Package lockcheck seeds release-on-every-path violations for the
+// lockcheck analyzer, alongside the accepted idioms that must stay
+// silent.
+package lockcheck
+
+import "sync"
+
+type counterStore struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// leakOnEarlyReturn forgets the unlock on the miss path.
+func (s *counterStore) leakOnEarlyReturn(key string) int {
+	s.mu.Lock() // want `s\.mu\.Lock is not released on every path`
+	v, ok := s.vals[key]
+	if !ok {
+		return -1
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// deferredIsFine is the preferred idiom: one defer covers every exit.
+func (s *counterStore) deferredIsFine(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[key]
+}
+
+// pairedOnAllPaths unlocks directly on both paths: allowed.
+func (s *counterStore) pairedOnAllPaths(key string) int {
+	s.mu.Lock()
+	if v, ok := s.vals[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// conditionalLock acquires on only one path; the join with the
+// lock-free path must not trip the checker.
+func (s *counterStore) conditionalLock(key string, locked bool) int {
+	if locked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.vals[key]
+}
+
+// panicWhileHeld leaks the lock on the panic edge only.
+func (s *counterStore) panicWhileHeld(key string) int {
+	s.mu.Lock() // want `a panic path leaks it`
+	v, ok := s.vals[key]
+	if !ok {
+		panic("missing " + key)
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// handoff intentionally returns holding the lock for the caller to
+// release; the reviewed exception is recorded with a directive.
+func (s *counterStore) handoff() {
+	s.mu.Lock() //supremmlint:allow lockcheck: lock handed to caller, released by commit()
+}
+
+// loopReacquire locks and unlocks once per iteration: balanced.
+func (s *counterStore) loopReacquire(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		s.mu.Lock()
+		total += s.vals[k]
+		s.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,56 @@
+package lockcheck
+
+import "sync"
+
+type gauges struct {
+	mu sync.RWMutex
+	m  map[string]float64
+}
+
+// readLeak leaks the read lock on the early return; read locks are
+// tracked separately from write locks.
+func (g *gauges) readLeak(key string) float64 {
+	g.mu.RLock() // want @2-8 `g\.mu\.RLock is not released on every path`
+	v, ok := g.m[key]
+	if !ok {
+		return 0
+	}
+	g.mu.RUnlock()
+	return v
+}
+
+// deferViaClosure releases through a deferred function literal.
+func (g *gauges) deferViaClosure() float64 {
+	g.mu.RLock()
+	defer func() { g.mu.RUnlock() }()
+	return g.m["x"]
+}
+
+// writeThenRead pairs each mode on every path; no mixing confusion.
+func (g *gauges) writeThenRead(key string, v float64) float64 {
+	g.mu.Lock()
+	g.m[key] = v
+	g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.m[key]
+}
+
+// lockInGoroutine: the literal body is its own function; the leak
+// inside it is reported against the literal, not the host.
+func (g *gauges) lockInGoroutine(done chan struct{}) {
+	go func() {
+		g.mu.Lock() // want `g\.mu\.Lock is not released on every path`
+		if g.m == nil {
+			return
+		}
+		g.mu.Unlock()
+		<-done
+	}()
+}
+
+// doubleLeak acquires two locks on one line; column constraints tell
+// the two same-line findings apart.
+func doubleLeak(a, b *counterStore) {
+	a.mu.Lock(); b.mu.Lock() // want @2 `a\.mu\.Lock is not released` @15 `b\.mu\.Lock is not released`
+}

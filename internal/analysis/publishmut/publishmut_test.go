@@ -1,0 +1,12 @@
+package publishmut_test
+
+import (
+	"testing"
+
+	"supremm/internal/analysis/analysistest"
+	"supremm/internal/analysis/publishmut"
+)
+
+func TestPublishMut(t *testing.T) {
+	analysistest.Run(t, publishmut.Analyzer, "publishmut")
+}

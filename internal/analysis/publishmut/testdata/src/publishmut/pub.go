@@ -1,0 +1,101 @@
+// Package publishmut seeds post-publish mutation violations. The local
+// Columns/Snapshot types stand in for the store/serve snapshot types
+// (the analyzer matches targets by name).
+package publishmut
+
+import "sync/atomic"
+
+type Columns struct {
+	N    int
+	Vals []float64
+}
+
+type Snapshot struct {
+	Rows int
+	Tags map[string]string
+}
+
+var current atomic.Pointer[Snapshot]
+
+var globalCols *Columns
+
+// mutateAfterAtomicStore is the canonical violation: the snapshot is
+// live for readers the instant Store returns.
+func mutateAfterAtomicStore(rows int) {
+	snap := &Snapshot{Rows: rows}
+	current.Store(snap)
+	snap.Rows = rows + 1 // want `write to snap after it escaped via atomic Store`
+}
+
+// buildThenStore writes only before publishing: fine.
+func buildThenStore(rows int) {
+	snap := &Snapshot{}
+	snap.Rows = rows
+	snap.Tags = map[string]string{"ok": "yes"}
+	current.Store(snap)
+}
+
+// mutateAfterSwap leaks through the swap publish too.
+func mutateAfterSwap(rows int) *Snapshot {
+	snap := &Snapshot{Rows: rows}
+	old := current.Swap(snap)
+	snap.Tags = nil // want `write to snap after it escaped via atomic Swap`
+	return old
+}
+
+// mutateAfterSend: a channel hands the value to another goroutine.
+func mutateAfterSend(ch chan *Columns) {
+	c := &Columns{N: 1}
+	ch <- c
+	c.N = 2 // want `write to c after it escaped via channel send`
+}
+
+// rebindClears: assigning a fresh value to the variable starts a new,
+// unpublished object; writes to it are fine.
+func rebindClears(ch chan *Columns) {
+	c := &Columns{N: 1}
+	ch <- c
+	c = &Columns{N: 2}
+	c.N = 3
+	ch <- c
+}
+
+// mutateAfterGlobalAssign: package-level variables are shared state.
+func mutateAfterGlobalAssign() {
+	c := &Columns{}
+	globalCols = c
+	c.Vals = append(c.Vals, 1) // want `write to c after it escaped via assignment to package-level var globalCols`
+}
+
+// publishOnOneBranch: published on one path only; the write after the
+// join may race on that path, so it is flagged.
+func publishOnOneBranch(share bool, ch chan *Snapshot) {
+	snap := &Snapshot{}
+	if share {
+		ch <- snap
+	}
+	snap.Rows = 1 // want `write to snap after it escaped via channel send`
+}
+
+// indexWriteAfterPublish: element writes count as writes.
+func indexWriteAfterPublish(ch chan *Columns) {
+	c := &Columns{Vals: make([]float64, 4)}
+	ch <- c
+	c.Vals[0] = 2.5 // want `write to c after it escaped`
+}
+
+// blessedPostPublish records a reviewed exception.
+func blessedPostPublish(ch chan *Columns) {
+	c := &Columns{}
+	ch <- c
+	c.N = 9 //supremmlint:allow publishmut: receiver synchronizes before reading N
+}
+
+// loopRebuild rebinds each iteration before writing: fine.
+func loopRebuild(ch chan *Snapshot, n int) {
+	for i := 0; i < n; i++ {
+		snap := &Snapshot{}
+		snap.Rows = i
+		ch <- snap
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// AllowDirective is one //supremmlint:allow comment found in a source
+// file: the analyzer it names ("all" for a blanket allow) and where it
+// sits.
+type AllowDirective struct {
+	Analyzer string
+	Pos      token.Position
+}
+
+// CollectAllows extracts every allow directive from the files, in
+// position order. The driver cross-references these against the lines
+// each pass actually suppressed (Pass.UsedAllows) to find stale allows.
+func CollectAllows(fset *token.FileSet, files []*ast.File) []AllowDirective {
+	var out []AllowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := allowTarget(c.Text)
+				if !ok {
+					continue
+				}
+				out = append(out, AllowDirective{Analyzer: name, Pos: fset.Position(c.Pos())})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
+// StaleAllowAnalyzerName labels the driver-level stale-directive check
+// in diagnostics. It is not a Pass analyzer: it runs over the union of
+// every pass's suppressions, after the whole suite has finished.
+const StaleAllowAnalyzerName = "staleallow"
+
+// StaleAllows reports the allow directives that earned nothing: a
+// directive naming an analyzer that suppressed no finding on its line
+// (including analyzers that no longer run on that file at all), or
+// naming an analyzer that does not exist. used maps analyzer name ->
+// filename -> directive lines that suppressed a finding; known is the
+// set of valid analyzer names. Stale directives are findings
+// themselves: a dead allow is an undocumented hole in the invariant it
+// once blessed.
+func StaleAllows(allows []AllowDirective, used map[string]map[string]map[int]bool, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	usedAt := func(analyzer, file string, line int) bool {
+		byFile := used[analyzer]
+		if byFile == nil {
+			return false
+		}
+		return byFile[file][line]
+	}
+	for _, d := range allows {
+		switch {
+		case d.Analyzer == "all":
+			live := false
+			for analyzer := range used {
+				if usedAt(analyzer, d.Pos.Filename, d.Pos.Line) {
+					live = true
+					break
+				}
+			}
+			if !live {
+				out = append(out, Diagnostic{
+					Pos:      d.Pos,
+					Analyzer: StaleAllowAnalyzerName,
+					Message:  "stale //supremmlint:allow all: no analyzer reports anything here; remove the directive",
+				})
+			}
+		case !known[d.Analyzer]:
+			out = append(out, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: StaleAllowAnalyzerName,
+				Message:  "//supremmlint:allow names unknown analyzer " + d.Analyzer,
+			})
+		case !usedAt(d.Analyzer, d.Pos.Filename, d.Pos.Line):
+			out = append(out, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: StaleAllowAnalyzerName,
+				Message:  "stale //supremmlint:allow " + d.Analyzer + ": the analyzer reports nothing on this line; remove the directive",
+			})
+		}
+	}
+	return out
+}

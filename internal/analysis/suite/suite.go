@@ -10,9 +10,13 @@ import (
 
 	"supremm/internal/analysis"
 	"supremm/internal/analysis/counterdelta"
+	"supremm/internal/analysis/deferclose"
 	"supremm/internal/analysis/errsink"
 	"supremm/internal/analysis/globalrand"
 	"supremm/internal/analysis/hotalloc"
+	"supremm/internal/analysis/lockcheck"
+	"supremm/internal/analysis/publishmut"
+	"supremm/internal/analysis/untrustedlen"
 	"supremm/internal/analysis/walltime"
 )
 
@@ -84,6 +88,45 @@ func Analyzers() []Scoped {
 				switch pkgPath {
 				case "supremm/internal/report", "supremm/internal/ingest", "supremm/internal/faultinject",
 					"supremm/internal/serve", "supremm/internal/store":
+					return true
+				}
+				return strings.HasPrefix(pkgPath, "supremm/cmd/")
+			},
+		},
+		{
+			// The two packages where a leaked mutex is fatal to the
+			// always-available promise: serve's reload/cache/metrics
+			// locking and the store's internals. A lock held past a
+			// forgotten early return wedges every later reload or query.
+			Analyzer: lockcheck.Analyzer,
+			PkgMatch: pkgIn("supremm/internal/serve", "supremm/internal/store"),
+		},
+		{
+			// Everywhere Columns/Snapshot values are built and published:
+			// the store constructs them, serve swaps them through the
+			// atomic pointer, ingest assembles them per realm. One
+			// post-publish write reintroduces the reader race the
+			// immutable-snapshot design exists to prevent.
+			Analyzer: publishmut.Analyzer,
+			PkgMatch: pkgIn("supremm/internal/store", "supremm/internal/serve", "supremm/internal/ingest"),
+		},
+		{
+			// The decode surfaces that consume bytes this process did not
+			// write: the store's binary codec and the taccstats parsers.
+			// A length field must be bounds-checked before it sizes an
+			// allocation, an index, or a copy.
+			Analyzer: untrustedlen.Analyzer,
+			PkgMatch: pkgIn("supremm/internal/store", "supremm/internal/taccstats"),
+		},
+		{
+			// The reload paths and the cmd entry points open files by the
+			// thousand (per-host archives) or per SIGHUP (snapshot,
+			// realms); a descriptor leaked per iteration kills the daemon
+			// with EMFILE long after the faulty commit landed.
+			Analyzer: deferclose.Analyzer,
+			PkgMatch: func(pkgPath string) bool {
+				switch pkgPath {
+				case "supremm/internal/serve", "supremm/internal/ingest":
 					return true
 				}
 				return strings.HasPrefix(pkgPath, "supremm/cmd/")

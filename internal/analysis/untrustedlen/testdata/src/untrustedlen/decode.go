@@ -1,0 +1,115 @@
+// Package untrustedlen seeds unchecked-length violations in a decoder
+// shaped like the store codec: lengths come off the wire and must be
+// bounded before they size anything.
+package untrustedlen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxRows = 1 << 20
+
+type decoder struct {
+	data []byte
+	off  int
+}
+
+// uint32 reads the next little-endian u32.
+//
+// supremmlint:untrusted — result comes straight from input bytes.
+func (d *decoder) uint32() uint32 {
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v
+}
+
+// allocUnchecked sizes an allocation straight from the wire.
+func allocUnchecked(d *decoder) []float64 {
+	n := d.uint32()
+	return make([]float64, n) // want `untrusted length n reaches make without a bound check`
+}
+
+// allocChecked bounds the length first: fine.
+func allocChecked(d *decoder) ([]float64, error) {
+	n := d.uint32()
+	if n > maxRows {
+		return nil, errors.New("row count out of range")
+	}
+	return make([]float64, n), nil
+}
+
+// indexUnchecked indexes a table with a wire value.
+func indexUnchecked(d *decoder, table []string) string {
+	i := d.uint32()
+	return table[i] // want `untrusted length i reaches indexing without a bound check`
+}
+
+// indexChecked compares against the table size first.
+func indexChecked(d *decoder, table []string) string {
+	i := d.uint32()
+	if int(i) >= len(table) {
+		return ""
+	}
+	return table[i]
+}
+
+// sliceBoundsUnchecked subslices with a raw wire length.
+func sliceBoundsUnchecked(d *decoder) []byte {
+	n := binary.BigEndian.Uint32(d.data)
+	return d.data[:n] // want `untrusted length n reaches slice bounds without a bound check`
+}
+
+// taintFlowsThroughArithmetic: derived values stay tainted.
+func taintFlowsThroughArithmetic(d *decoder) []byte {
+	n := d.uint32()
+	size := int(n) * 8
+	return make([]byte, size) // want `untrusted length size reaches make without a bound check`
+}
+
+// copyNUnchecked limits an io copy with a wire value.
+func copyNUnchecked(d *decoder, w io.Writer) error {
+	n := d.uint32()
+	_, err := io.CopyN(w, bytes.NewReader(d.data), int64(n)) // want `untrusted length int64\(n\) reaches io.CopyN without a bound check`
+	return err
+}
+
+// copyNChecked bounds the count first.
+func copyNChecked(d *decoder, w io.Writer) error {
+	n := d.uint32()
+	if n > maxRows {
+		return errors.New("too big")
+	}
+	_, err := io.CopyN(w, bytes.NewReader(d.data), int64(n))
+	return err
+}
+
+// reassignClearsTaint: overwriting with a trusted value is clean.
+func reassignClearsTaint(d *decoder) []byte {
+	n := int(d.uint32())
+	n = 16
+	return make([]byte, n)
+}
+
+// blessedSink records a reviewed exception.
+func blessedSink(d *decoder) []byte {
+	n := d.uint32()
+	return make([]byte, n) //supremmlint:allow untrustedlen: caller validated the frame header already
+}
+
+// varintTaint: multi-result binary sources taint every integer result.
+func varintTaint(d *decoder) []int64 {
+	v, n := binary.Varint(d.data)
+	if n <= 0 {
+		return nil
+	}
+	return make([]int64, v) // want `untrusted length v reaches make without a bound check`
+}
+
+// mapIndexIsFine: map lookups with tainted keys cannot overrun memory.
+func mapIndexIsFine(d *decoder, m map[uint32]string) string {
+	k := d.uint32()
+	return m[k]
+}

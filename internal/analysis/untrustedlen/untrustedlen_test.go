@@ -1,0 +1,12 @@
+package untrustedlen_test
+
+import (
+	"testing"
+
+	"supremm/internal/analysis/analysistest"
+	"supremm/internal/analysis/untrustedlen"
+)
+
+func TestUntrustedLen(t *testing.T) {
+	analysistest.Run(t, untrustedlen.Analyzer, "untrustedlen")
+}

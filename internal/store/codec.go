@@ -155,6 +155,10 @@ type decoder struct {
 
 func (d *decoder) remaining() int { return len(d.data) - d.off }
 
+// take returns the next n input bytes after bounds-checking n against
+// what remains.
+//
+// supremmlint:untrusted — the returned bytes are raw input.
 func (d *decoder) take(n int) ([]byte, error) {
 	if n < 0 || n > d.remaining() {
 		return nil, fmt.Errorf("store: snapshot truncated at offset %d (need %d bytes, have %d)", d.off, n, d.remaining())
@@ -164,6 +168,10 @@ func (d *decoder) take(n int) ([]byte, error) {
 	return b, nil
 }
 
+// uint32 decodes the next little-endian u32.
+//
+// supremmlint:untrusted — the result comes straight from input bytes
+// and must be bounds-checked before sizing anything.
 func (d *decoder) uint32() (uint32, error) {
 	b, err := d.take(4)
 	if err != nil {
@@ -172,6 +180,10 @@ func (d *decoder) uint32() (uint32, error) {
 	return binary.LittleEndian.Uint32(b), nil
 }
 
+// uint64 decodes the next little-endian u64.
+//
+// supremmlint:untrusted — the result comes straight from input bytes
+// and must be bounds-checked before sizing anything.
 func (d *decoder) uint64() (uint64, error) {
 	b, err := d.take(8)
 	if err != nil {
