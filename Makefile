@@ -1,9 +1,9 @@
 # Convenience targets for the SUPReMM reproduction.
 GO ?= go
 
-.PHONY: all build test test-race vet lint lint-fast fuzz-smoke test-faults test-serve test-store bench bench-ingest bench-serve bench-store figures dashboard clean
+.PHONY: all build test test-race vet lint lint-fast fuzz-smoke test-faults test-chaos test-serve test-store bench bench-ingest bench-serve bench-store figures dashboard clean
 
-all: build vet lint test test-race
+all: build vet lint test test-race test-chaos
 
 build:
 	$(GO) build ./...
@@ -43,11 +43,13 @@ lint-fast:
 	$(GO) run ./cmd/supremmlint $$dirs
 
 # Quick fuzz regression pass: replays the committed seed corpora plus a
-# short budget of new inputs against the raw-format parsers and the
-# columnar binary snapshot decoder.
+# short budget of new inputs against the raw-format parsers, the
+# columnar binary snapshot decoder, and the daemon's corrupt-snapshot
+# reload path (served generation must never change on a failed decode).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseFile -fuzztime 10s ./internal/taccstats
 	$(GO) test -run '^$$' -fuzz FuzzColumnsDecode -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzReloadCorrupt -fuzztime 10s ./internal/serve
 
 # Fault-injection differential suite under the race detector: corrupted
 # hosts quarantine, untouched jobs stay bit-identical, sequential and
@@ -55,6 +57,14 @@ fuzz-smoke:
 test-faults:
 	$(GO) test -race -run 'Degrad|Fault|Flaky|Inject|Polic|Quarantine|Retr|Skew|Quality|Truncate' \
 		./internal/faultinject ./internal/ingest ./cmd/ingest ./cmd/taccstatsd
+
+# Serve-layer chaos/overload suite under the race detector: the seeded
+# chaos soak (torn snapshots, reload storms, slow reads, slow clients),
+# admission/breaker/drain behavior, deadline and panic middleware, and
+# the atomic-output + goroutine-leak guards (DESIGN.md §13).
+test-chaos:
+	$(GO) test -race -run 'Chaos|Admission|Breaker|Shed|Drain|Deadline|Panic|Healthz|Atomic|AggregateParallelCtx' \
+		./internal/serve ./cmd/supremmd ./cmd/ingest ./internal/store
 
 # Query-daemon suite: race-detector HTTP tests (concurrent queries vs
 # hot reload), the simulate→ingest→supremmd golden harness, the fuzz

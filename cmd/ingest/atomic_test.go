@@ -1,0 +1,84 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileAtomic covers the happy path and the two failure
+// contracts: a failed write leaves the previous target untouched, and
+// no temp file survives any outcome.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+
+	if err := writeFileAtomic(dir, "out.txt", func(f *os.File) error {
+		_, err := f.WriteString("v1\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1\n" {
+		t.Fatalf("content %q, want %q", got, "v1\n")
+	}
+
+	// A failing writer must not touch the existing file...
+	boom := errors.New("boom")
+	err = writeFileAtomic(dir, "out.txt", func(f *os.File) error {
+		if _, werr := f.WriteString("half-written garbage"); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v, want boom", err)
+	}
+	got, err = os.ReadFile(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1\n" {
+		t.Fatalf("failed write changed the target: %q", got)
+	}
+
+	// ...and no temp residue may remain after success or failure.
+	assertNoTempFiles(t, dir)
+
+	// Replacement goes through in full.
+	if err := writeFileAtomic(dir, "out.txt", func(f *os.File) error {
+		_, err := f.WriteString("v2\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2\n" {
+		t.Fatalf("content %q, want %q", got, "v2\n")
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// assertNoTempFiles fails if any ".<name>.tmp*" work file is left in
+// dir — leaked temps would accumulate on the ingest host and confuse
+// directory fingerprinting.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leaked temp file %s", e.Name())
+		}
+	}
+}

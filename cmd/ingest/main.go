@@ -20,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -130,43 +129,31 @@ func runWorkers(rawDir, acctPath, out string, workers int, opts ingest.Options) 
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
-	jf, err := os.Create(filepath.Join(out, "jobs.jsonl"))
-	if err != nil {
-		return err
-	}
-	if err := res.Store.Save(jf); err != nil {
-		_ = jf.Close() // save error wins
-		return err
-	}
-	if err := jf.Close(); err != nil {
+	// Every output lands atomically (temp + fsync + rename in the same
+	// directory): supremmd polls this directory and must never catch a
+	// half-written batch. A reader sees either the previous files or the
+	// new ones, per file.
+	if err := writeFileAtomic(out, "jobs.jsonl", func(f *os.File) error {
+		return res.Store.Save(f)
+	}); err != nil {
 		return err
 	}
 	// The columnar binary snapshot rides alongside jobs.jsonl: supremmd
 	// prefers it (faster load, CRC-checked), and the JSON stays the
 	// inspectable/interoperable form.
-	bf, err := os.Create(filepath.Join(out, "jobs.supremm"))
-	if err != nil {
+	if err := writeFileAtomic(out, "jobs.supremm", func(f *os.File) error {
+		return res.Store.SaveBinary(f)
+	}); err != nil {
 		return err
 	}
-	if err := res.Store.SaveBinary(bf); err != nil {
-		_ = bf.Close() // save error wins
+	if err := writeFileAtomic(out, "series.jsonl", func(f *os.File) error {
+		return store.SaveSeries(f, res.Series)
+	}); err != nil {
 		return err
 	}
-	if err := bf.Close(); err != nil {
-		return err
-	}
-	sf, err := os.Create(filepath.Join(out, "series.jsonl"))
-	if err != nil {
-		return err
-	}
-	if err := store.SaveSeries(sf, res.Series); err != nil {
-		_ = sf.Close() // save error wins
-		return err
-	}
-	if err := sf.Close(); err != nil {
-		return err
-	}
-	if err := ingest.SaveQuality(filepath.Join(out, "quality.json"), &res.Quality); err != nil {
+	if err := writeFileAtomic(out, "quality.json", func(f *os.File) error {
+		return ingest.WriteQuality(f, &res.Quality)
+	}); err != nil {
 		return err
 	}
 	q := &res.Quality

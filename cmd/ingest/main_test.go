@@ -94,6 +94,9 @@ func TestIngestCommandEndToEnd(t *testing.T) {
 	if q.FilesQuarantined != 0 {
 		t.Errorf("clean sim archive quarantined %d files", q.FilesQuarantined)
 	}
+	// All four outputs went through the atomic temp+rename path; none of
+	// its work files may survive the run.
+	assertNoTempFiles(t, out)
 }
 
 func TestIngestCommandPolicies(t *testing.T) {

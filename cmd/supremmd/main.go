@@ -6,8 +6,13 @@
 //	supremmd -data ./out/pipeline -addr :8090
 //
 // The daemon polls the data directory (-poll) and hot-reloads when a
-// new ingest batch lands; POST /api/v1/reload forces it. SIGINT/SIGTERM
-// drain in-flight requests before exit.
+// new ingest batch lands; POST /api/v1/reload forces it. It defends
+// itself under overload (DESIGN.md §13): -max-inflight bounds
+// concurrent queries with a bounded wait queue behind it, excess load
+// is shed with 503 + Retry-After, -timeout cancels slow aggregations,
+// and a circuit breaker keeps the last-good snapshot served while the
+// data directory is torn. SIGINT/SIGTERM shed the queue and drain
+// in-flight requests before exit.
 package main
 
 import (
@@ -25,64 +30,97 @@ import (
 	"supremm/internal/serve"
 )
 
+// options collects everything run needs; flags populate it in main,
+// tests populate it directly.
+type options struct {
+	data    string
+	addr    string
+	poll    time.Duration
+	drain   time.Duration
+	cache   int
+	workers int
+	retries int
+
+	maxInFlight      int           // 0 = serve default (64), negative disables
+	maxQueue         int           // 0 = 2x maxInFlight, negative = no queue
+	timeout          time.Duration // per-request deadline, 0 disables
+	retryAfter       int           // Retry-After seconds on shed responses
+	breakerThreshold int           // reload failures that open the breaker
+	breakerBackoff   int           // breaker cooldown in poll ticks
+
+	// ready receives the bound address once the listener is up.
+	ready func(addr string)
+	// hooks are passed through to serve.Config (tests).
+	hooks serve.Hooks
+}
+
 func main() {
-	var (
-		data    = flag.String("data", "data", "ingested data directory (jobs.supremm/jobs.jsonl, series.jsonl, quality.json)")
-		addr    = flag.String("addr", "127.0.0.1:8090", "listen address")
-		poll    = flag.Duration("poll", 10*time.Second, "data-directory poll interval for hot reload (0 disables)")
-		cache   = flag.Int("cache", 0, "query-cache entries (0 = default 1024, negative disables)")
-		workers = flag.Int("workers", 0, "aggregation workers (0 = GOMAXPROCS)")
-		retries = flag.Int("retries", 2, "retries per snapshot load racing an ingest rewrite")
-		drain   = flag.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
-	)
+	var opts options
+	flag.StringVar(&opts.data, "data", "data", "ingested data directory (jobs.supremm/jobs.jsonl, series.jsonl, quality.json)")
+	flag.StringVar(&opts.addr, "addr", "127.0.0.1:8090", "listen address")
+	flag.DurationVar(&opts.poll, "poll", 10*time.Second, "data-directory poll interval for hot reload (0 disables)")
+	flag.IntVar(&opts.cache, "cache", 0, "query-cache entries (0 = default 1024, negative disables)")
+	flag.IntVar(&opts.workers, "workers", 0, "aggregation workers (0 = GOMAXPROCS)")
+	flag.IntVar(&opts.retries, "retries", 2, "retries per snapshot load racing an ingest rewrite")
+	flag.DurationVar(&opts.drain, "drain", 10*time.Second, "shutdown drain budget for in-flight requests")
+	flag.IntVar(&opts.maxInFlight, "max-inflight", 0, "max concurrently executing data queries (0 = default 64, negative disables admission control)")
+	flag.IntVar(&opts.maxQueue, "max-queue", 0, "max queries waiting for a slot before shedding (0 = 2x max-inflight, negative = no queue)")
+	flag.DurationVar(&opts.timeout, "timeout", 10*time.Second, "per-request deadline for data queries (0 disables)")
+	flag.IntVar(&opts.retryAfter, "retry-after", 1, "Retry-After seconds on shed/timed-out responses")
+	flag.IntVar(&opts.breakerThreshold, "breaker-threshold", 3, "consecutive reload failures that open the snapshot-reload breaker")
+	flag.IntVar(&opts.breakerBackoff, "breaker-backoff", 2, "breaker cooldown in poll ticks (doubles per failed probe)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *data, *addr, *poll, *drain, *cache, *workers, *retries, nil); err != nil {
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "supremmd:", err)
 		os.Exit(1)
 	}
 }
 
 // run starts the daemon and blocks until ctx is cancelled and the
-// listener has drained. ready, when non-nil, receives the bound
-// address once the listener is up (tests use it).
-func run(ctx context.Context, data, addr string, poll, drain time.Duration,
-	cache, workers, retries int, ready func(addr string)) error {
-
+// listener has drained.
+func run(ctx context.Context, opts options) error {
 	srv, err := serve.New(serve.Config{
-		DataDir:   data,
-		Workers:   workers,
-		CacheSize: cache,
-		RetryMax:  retries,
+		DataDir:   opts.data,
+		Workers:   opts.workers,
+		CacheSize: opts.cache,
+		RetryMax:  opts.retries,
 		Backoff: func(attempt int) {
 			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
 		},
-		Now: time.Now,
+		Now:                 time.Now,
+		MaxInFlight:         opts.maxInFlight,
+		MaxQueue:            opts.maxQueue,
+		RequestTimeout:      opts.timeout,
+		RetryAfterSec:       opts.retryAfter,
+		BreakerThreshold:    opts.breakerThreshold,
+		BreakerBackoffPolls: opts.breakerBackoff,
+		Hooks:               opts.hooks,
 	})
 	if err != nil {
 		return err
 	}
 	snap := srv.Snapshot()
 	fmt.Fprintf(os.Stderr, "supremmd: serving %s (%d jobs, cluster %s, generation %d, %s source) on %s\n",
-		data, snap.Realm.Store.Len(), snap.Realm.Cluster, snap.Gen, snap.Source, addr)
+		opts.data, snap.Realm.Store.Len(), snap.Realm.Cluster, snap.Gen, snap.Source, opts.addr)
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	if ready != nil {
-		ready(ln.Addr().String())
+	if opts.ready != nil {
+		opts.ready(ln.Addr().String())
 	}
 
 	pollDone := make(chan struct{})
-	if poll > 0 {
+	if opts.poll > 0 {
 		go func() {
 			defer close(pollDone)
-			t := time.NewTicker(poll)
+			t := time.NewTicker(opts.poll)
 			defer t.Stop()
 			for {
 				select {
@@ -95,7 +133,7 @@ func run(ctx context.Context, data, addr string, poll, drain time.Duration,
 					} else if reloaded {
 						s := srv.Snapshot()
 						fmt.Fprintf(os.Stderr, "supremmd: reloaded %s (%d jobs, generation %d)\n",
-							data, s.Realm.Store.Len(), s.Gen)
+							opts.data, s.Realm.Store.Len(), s.Gen)
 					}
 				}
 			}
@@ -109,8 +147,12 @@ func run(ctx context.Context, data, addr string, poll, drain time.Duration,
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "supremmd: draining...")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	// Shed first, then drain: queued requests get an immediate 503 +
+	// Retry-After so the drain budget is spent only on queries already
+	// executing, and new arrivals during the drain are shed too.
+	srv.BeginDrain()
+	fmt.Fprintln(os.Stderr, "supremmd: draining (new requests shed)...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	err = httpSrv.Shutdown(shutdownCtx)
 	<-pollDone

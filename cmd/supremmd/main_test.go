@@ -68,8 +68,8 @@ func TestRunServesAndDrains(t *testing.T) {
 	readyc := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, dir, "127.0.0.1:0", 0, 5*time.Second, 0, 0, 1,
-			func(addr string) { readyc <- addr })
+		done <- run(ctx, options{data: dir, addr: "127.0.0.1:0", drain: 5 * time.Second,
+			retries: 1, ready: func(addr string) { readyc <- addr }})
 	}()
 
 	var addr string
@@ -119,8 +119,8 @@ func TestRunServesAndDrains(t *testing.T) {
 
 // TestRunBadDataDir exercises the startup failure path.
 func TestRunBadDataDir(t *testing.T) {
-	err := run(context.Background(), filepath.Join(t.TempDir(), "absent"), "127.0.0.1:0",
-		0, time.Second, 0, 0, 0, nil)
+	err := run(context.Background(), options{data: filepath.Join(t.TempDir(), "absent"),
+		addr: "127.0.0.1:0", drain: time.Second})
 	if err == nil {
 		t.Fatal("run succeeded on a missing data directory")
 	}

@@ -94,12 +94,16 @@ func Analyzers() []Scoped {
 			},
 		},
 		{
-			// The two packages where a leaked mutex is fatal to the
-			// always-available promise: serve's reload/cache/metrics
-			// locking and the store's internals. A lock held past a
-			// forgotten early return wedges every later reload or query.
+			// The packages where a leaked mutex is fatal to the
+			// always-available promise: serve's reload/cache/metrics/
+			// breaker locking, the store's internals, and the chaos
+			// driver's shared state (faultinject.ServeChaos runs
+			// concurrently with the client fleet it torments). A lock held
+			// past a forgotten early return wedges every later reload or
+			// query.
 			Analyzer: lockcheck.Analyzer,
-			PkgMatch: pkgIn("supremm/internal/serve", "supremm/internal/store"),
+			PkgMatch: pkgIn("supremm/internal/serve", "supremm/internal/store",
+				"supremm/internal/faultinject"),
 		},
 		{
 			// Everywhere Columns/Snapshot values are built and published:
@@ -123,10 +127,13 @@ func Analyzers() []Scoped {
 			// thousand (per-host archives) or per SIGHUP (snapshot,
 			// realms); a descriptor leaked per iteration kills the daemon
 			// with EMFILE long after the faulty commit landed.
+			// faultinject joined when it grew the serve-layer chaos
+			// drivers: its heal/tear paths open and rename files in loops.
 			Analyzer: deferclose.Analyzer,
 			PkgMatch: func(pkgPath string) bool {
 				switch pkgPath {
-				case "supremm/internal/serve", "supremm/internal/ingest":
+				case "supremm/internal/serve", "supremm/internal/ingest",
+					"supremm/internal/faultinject":
 					return true
 				}
 				return strings.HasPrefix(pkgPath, "supremm/cmd/")

@@ -1,0 +1,231 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Serve-layer fault kinds: the failure modes the query daemon
+// (internal/serve) must survive, as opposed to the archive-corruption
+// kinds the ingest faces. DESIGN.md §13 is the taxonomy.
+const (
+	// KindTornSnapshot overwrites jobs.supremm with a prefix of its
+	// bytes, in place and without a rename — the footprint of a legacy
+	// non-atomic writer (or a half-copied restore) caught mid-rewrite.
+	// The daemon's reload must fail the decode, keep serving the
+	// last-good generation, and trip the reload breaker.
+	KindTornSnapshot Kind = "torn-snapshot"
+	// KindSlowRead delays snapshot-file reads (an overloaded shared
+	// filesystem); queries must keep answering from the current
+	// in-memory snapshot while a reload crawls.
+	KindSlowRead Kind = "slow-read"
+	// KindReloadStorm rewrites the data directory rapidly and
+	// non-atomically, churning the fingerprint so the poll loop sees a
+	// "new batch" every tick and may catch files mid-write.
+	KindReloadStorm Kind = "reload-storm"
+	// KindSlowClient is a client that reads its response a few bytes at
+	// a time or disconnects mid-body; the daemon's goroutines and
+	// admission slots must not leak on its account.
+	KindSlowClient Kind = "slow-client"
+)
+
+// ServeKinds lists the serve-layer fault classes.
+func ServeKinds() []Kind {
+	return []Kind{KindTornSnapshot, KindSlowRead, KindReloadStorm, KindSlowClient}
+}
+
+// TornWrite overwrites path in place with the first frac of data, no
+// temp file and no rename — exactly the torn state a non-atomic writer
+// leaves when killed mid-rewrite. frac is clamped to [0,1).
+func TornWrite(path string, data []byte, frac float64) error {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac >= 1 {
+		frac = 0.99
+	}
+	n := int(frac * float64(len(data)))
+	if n >= len(data) {
+		n = len(data) - 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	return os.WriteFile(path, data[:n], 0o644)
+}
+
+// SlowOpener wraps a file opener so reads of paths matching slow are
+// preceded by delay() per Read call — an overloaded parallel
+// filesystem, injected at serve.Config.Open. The delay is a caller
+// -supplied func so this package stays clock-free and tests stay
+// deterministic (a channel receive, a counter, or a real sleep).
+func SlowOpener(base func(path string) (io.ReadCloser, error), slow func(path string) bool,
+	delay func()) func(path string) (io.ReadCloser, error) {
+
+	return func(path string) (io.ReadCloser, error) {
+		rc, err := base(path)
+		if err != nil || slow == nil || !slow(path) {
+			return rc, err
+		}
+		return &slowReader{rc: rc, delay: delay}, nil
+	}
+}
+
+type slowReader struct {
+	rc    io.ReadCloser
+	delay func()
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	if s.delay != nil {
+		s.delay()
+	}
+	return s.rc.Read(p)
+}
+
+func (s *slowReader) Close() error { return s.rc.Close() }
+
+// ServeChaos drives serve-layer faults against one data directory. It
+// holds the known-good bytes of every data file so it can tear them
+// and heal them deterministically; the same seed produces the same
+// sequence of torn fractions. Safe for concurrent use.
+type ServeChaos struct {
+	dir string
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	good   map[string][]byte
+	counts map[Kind]int
+}
+
+// NewServeChaos captures dir's current files as the known-good state.
+// good maps file name (e.g. "jobs.supremm") to its healthy content.
+func NewServeChaos(seed int64, dir string, good map[string][]byte) *ServeChaos {
+	g := make(map[string][]byte, len(good))
+	for name, b := range good {
+		g[name] = append([]byte(nil), b...)
+	}
+	return &ServeChaos{
+		dir:    dir,
+		rng:    rand.New(rand.NewSource(seed)),
+		good:   g,
+		counts: make(map[Kind]int),
+	}
+}
+
+// TearSnapshot tears jobs.supremm in place, returning the fraction
+// kept. The torn prefix always destroys the decode: the columnar codec
+// authenticates its trailer, so any proper prefix fails.
+func (c *ServeChaos) TearSnapshot() (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.good["jobs.supremm"]
+	if !ok {
+		return 0, fmt.Errorf("faultinject: no known-good jobs.supremm")
+	}
+	frac := 0.05 + 0.9*c.rng.Float64()
+	c.counts[KindTornSnapshot]++
+	return frac, TornWrite(filepath.Join(c.dir, "jobs.supremm"), data, frac)
+}
+
+// Storm rewrites every known-good file non-atomically, rewrites times
+// over — fingerprint churn with windows where a reader can catch a
+// file half-written, the shape of a legacy ingest rewriting in place.
+func (c *ServeChaos) Storm(rewrites int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.good))
+	for name := range c.good {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i := 0; i < rewrites; i++ {
+		for _, name := range names {
+			c.counts[KindReloadStorm]++
+			if err := os.WriteFile(filepath.Join(c.dir, name), c.good[name], 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Heal atomically restores every known-good file (temp + rename, the
+// cmd/ingest discipline), returning the directory to a loadable state
+// in one step per file.
+func (c *ServeChaos) Heal() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.good))
+	for name := range c.good {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dst := filepath.Join(c.dir, name)
+		tmp, err := os.CreateTemp(c.dir, "."+name+".heal*")
+		if err != nil {
+			return err
+		}
+		if _, err := tmp.Write(c.good[name]); err != nil {
+			_ = tmp.Close() // already failing; surface the write error
+			_ = os.Remove(tmp.Name())
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			_ = os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), dst); err != nil {
+			_ = os.Remove(tmp.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// Counts reports how many faults of each kind this chaos run injected.
+func (c *ServeChaos) Counts() map[Kind]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Kind]int, len(c.counts))
+	for k, n := range c.counts {
+		out[k] = n
+	}
+	return out
+}
+
+// SlowClient issues a raw HTTP/1.0 GET for path against addr and reads
+// at most readBytes of the response one byte at a time, calling delay()
+// between reads, then closes the connection — possibly mid-body. The
+// daemon under test must tolerate the abandoned connection without
+// leaking a goroutine or an admission slot.
+func SlowClient(addr, path string, readBytes int, delay func()) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.0\r\nHost: chaos\r\n\r\n", path); err != nil {
+		return err
+	}
+	buf := make([]byte, 1)
+	for i := 0; i < readBytes; i++ {
+		if delay != nil {
+			delay()
+		}
+		if _, err := conn.Read(buf); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}

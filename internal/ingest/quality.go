@@ -3,6 +3,7 @@ package ingest
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -98,6 +99,17 @@ func (q *DataQuality) Completeness() float64 {
 	return float64(q.FilesScanned-q.FilesQuarantined) / float64(q.FilesScanned)
 }
 
+// WriteQuality streams the report as JSON to w — the writer-based form
+// cmd/ingest's atomic output path uses.
+func WriteQuality(w io.Writer, q *DataQuality) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(q); err != nil {
+		return fmt.Errorf("ingest: write quality report: %w", err)
+	}
+	return nil
+}
+
 // SaveQuality writes the report as JSON, the hand-off format between
 // cmd/ingest and the reporting stage.
 func SaveQuality(path string, q *DataQuality) error {
@@ -105,11 +117,9 @@ func SaveQuality(path string, q *DataQuality) error {
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(q); err != nil {
+	if err := WriteQuality(f, q); err != nil {
 		_ = f.Close() // encode error wins
-		return fmt.Errorf("ingest: write quality report: %w", err)
+		return err
 	}
 	return f.Close()
 }

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admitVerdict classifies one admission attempt.
+type admitVerdict int
+
+const (
+	// admitOK: a slot was granted; the caller must invoke the release.
+	admitOK admitVerdict = iota
+	// admitShed: no slot and no queue room (or the daemon is draining);
+	// the request must be load-shed with 503 + Retry-After.
+	admitShed
+	// admitCancelled: the client gave up (context done) while queued.
+	admitCancelled
+)
+
+// admission is the daemon's overload valve: a counting semaphore over
+// concurrently executing data queries plus a bounded wait queue in
+// front of it. Requests beyond limit+queue are shed immediately — the
+// defined behavior under overload is a fast 503 with Retry-After, not
+// an unbounded goroutine pile-up that takes every query down together
+// (DESIGN.md §13). A nil *admission admits everything (admission
+// disabled).
+//
+// The semaphore is a buffered channel (send = acquire, receive =
+// release) so queued waiters block in a select that also observes the
+// client's context and the drain signal; no mutex is held while
+// waiting.
+type admission struct {
+	limit    int
+	queueCap int
+
+	slots chan struct{} // cap = limit; len = in-flight
+	queue chan struct{} // cap = queueCap; len = currently waiting
+
+	// drainC is closed by beginDrain: every queued waiter wakes and
+	// sheds, and later arrivals shed without queueing, so shutdown never
+	// waits on work that has not started.
+	drainC   chan struct{}
+	draining atomic.Bool
+
+	inFlight atomic.Int64
+	peak     atomic.Int64 // high-water mark of inFlight, for /metrics and the chaos invariant
+	admitted atomic.Int64
+	queued   atomic.Int64 // requests that had to wait for a slot
+}
+
+// newAdmission sizes the valve. limit must be positive; queueCap <= 0
+// means no queue (anything beyond the in-flight limit sheds at once).
+func newAdmission(limit, queueCap int) *admission {
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	return &admission{
+		limit:    limit,
+		queueCap: queueCap,
+		slots:    make(chan struct{}, limit),
+		queue:    make(chan struct{}, queueCap),
+		drainC:   make(chan struct{}),
+	}
+}
+
+// acquire tries to claim an execution slot, waiting in the bounded
+// queue when the daemon is at its in-flight limit. On admitOK the
+// returned release must be called exactly once when the request
+// finishes; on any other verdict release is nil.
+func (a *admission) acquire(ctx context.Context) (release func(), verdict admitVerdict) {
+	if a == nil {
+		return func() {}, admitOK
+	}
+	if a.draining.Load() {
+		return nil, admitShed
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.admit(), admitOK
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, admitShed
+	}
+	a.queued.Add(1)
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		return a.admit(), admitOK
+	case <-ctx.Done():
+		return nil, admitCancelled
+	case <-a.drainC:
+		return nil, admitShed
+	}
+}
+
+// admit records the grant and returns its release.
+func (a *admission) admit() func() {
+	a.admitted.Add(1)
+	cur := a.inFlight.Add(1)
+	for {
+		p := a.peak.Load()
+		if cur <= p || a.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	return func() {
+		a.inFlight.Add(-1)
+		<-a.slots
+	}
+}
+
+// beginDrain flips the valve shut: queued waiters shed immediately and
+// new arrivals shed without queueing. In-flight requests are
+// unaffected — http.Server.Shutdown waits for those. Idempotent.
+func (a *admission) beginDrain() {
+	if a == nil {
+		return
+	}
+	if a.draining.CompareAndSwap(false, true) {
+		close(a.drainC)
+	}
+}
+
+// admissionDTO is the /metrics view of the valve.
+type admissionDTO struct {
+	Enabled      bool  `json:"enabled"`
+	MaxInFlight  int   `json:"max_in_flight"`
+	MaxQueue     int   `json:"max_queue"`
+	InFlight     int64 `json:"in_flight"`
+	InFlightPeak int64 `json:"in_flight_peak"`
+	InQueue      int   `json:"in_queue"`
+	Admitted     int64 `json:"admitted"`
+	Queued       int64 `json:"queued"`
+	Draining     bool  `json:"draining"`
+}
+
+func (a *admission) dto() admissionDTO {
+	if a == nil {
+		return admissionDTO{Enabled: false}
+	}
+	return admissionDTO{
+		Enabled:      true,
+		MaxInFlight:  a.limit,
+		MaxQueue:     a.queueCap,
+		InFlight:     a.inFlight.Load(),
+		InFlightPeak: a.peak.Load(),
+		InQueue:      len(a.queue),
+		Admitted:     a.admitted.Load(),
+		Queued:       a.queued.Load(),
+		Draining:     a.draining.Load(),
+	}
+}

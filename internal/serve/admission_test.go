@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionLimitAndShed fills the valve to its limit plus queue
+// and checks the next arrival sheds instead of waiting.
+func TestAdmissionLimitAndShed(t *testing.T) {
+	a := newAdmission(2, 1)
+	ctx := context.Background()
+
+	rel1, v := a.acquire(ctx)
+	if v != admitOK {
+		t.Fatalf("first acquire: %v", v)
+	}
+	rel2, v := a.acquire(ctx)
+	if v != admitOK {
+		t.Fatalf("second acquire: %v", v)
+	}
+
+	// Third waits in the queue; park it in a goroutine.
+	got3 := make(chan admitVerdict, 1)
+	var rel3 func()
+	var mu sync.Mutex
+	go func() {
+		rel, v := a.acquire(ctx)
+		mu.Lock()
+		rel3 = rel
+		mu.Unlock()
+		got3 <- v
+	}()
+	// Wait for it to occupy the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(a.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("third acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fourth finds limit and queue full: shed.
+	if rel, v := a.acquire(ctx); v != admitShed {
+		t.Fatalf("fourth acquire: %v, want shed", v)
+	} else if rel != nil {
+		t.Fatal("shed returned a release")
+	}
+
+	// Releasing a slot admits the queued waiter.
+	rel1()
+	select {
+	case v := <-got3:
+		if v != admitOK {
+			t.Fatalf("queued acquire: %v, want ok", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never admitted")
+	}
+	rel2()
+	mu.Lock()
+	rel3()
+	mu.Unlock()
+
+	d := a.dto()
+	if d.Admitted != 3 || d.Queued != 1 || d.InFlight != 0 || d.InFlightPeak != 2 {
+		t.Errorf("dto = %+v", d)
+	}
+}
+
+// TestAdmissionCancelWhileQueued: a queued client whose context dies
+// must report admitCancelled and free its queue slot.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 1)
+	rel, v := a.acquire(context.Background())
+	if v != admitOK {
+		t.Fatalf("first acquire: %v", v)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan admitVerdict, 1)
+	go func() {
+		r, v := a.acquire(ctx)
+		if r != nil {
+			r()
+		}
+		got <- v
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(a.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case v := <-got:
+		if v != admitCancelled {
+			t.Fatalf("verdict %v, want cancelled", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	// The queue slot came back.
+	deadline = time.Now().Add(5 * time.Second)
+	for len(a.queue) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue slot leaked after cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+}
+
+// TestAdmissionDrain: beginDrain sheds queued waiters and all later
+// arrivals, while held slots stay valid.
+func TestAdmissionDrain(t *testing.T) {
+	a := newAdmission(1, 2)
+	rel, v := a.acquire(context.Background())
+	if v != admitOK {
+		t.Fatalf("first acquire: %v", v)
+	}
+	got := make(chan admitVerdict, 1)
+	go func() {
+		r, v := a.acquire(context.Background())
+		if r != nil {
+			r()
+		}
+		got <- v
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(a.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.beginDrain()
+	a.beginDrain() // idempotent
+	select {
+	case v := <-got:
+		if v != admitShed {
+			t.Fatalf("queued waiter verdict %v, want shed", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter not shed by drain")
+	}
+	if _, v := a.acquire(context.Background()); v != admitShed {
+		t.Fatalf("post-drain acquire verdict %v, want shed", v)
+	}
+	rel() // releasing a pre-drain slot must not panic
+	if !a.dto().Draining {
+		t.Error("dto does not report draining")
+	}
+}
+
+// TestAdmissionNilAdmitsEverything: admission disabled is a nil
+// pointer that admits unconditionally.
+func TestAdmissionNilAdmitsEverything(t *testing.T) {
+	var a *admission
+	rel, v := a.acquire(context.Background())
+	if v != admitOK || rel == nil {
+		t.Fatalf("nil admission: verdict %v", v)
+	}
+	rel()
+	a.beginDrain() // no-op, no panic
+	if d := a.dto(); d.Enabled {
+		t.Error("nil admission reports enabled")
+	}
+}
+
+// TestAdmissionNoQueue: queueCap 0 sheds immediately at the limit.
+func TestAdmissionNoQueue(t *testing.T) {
+	a := newAdmission(1, 0)
+	rel, v := a.acquire(context.Background())
+	if v != admitOK {
+		t.Fatalf("first acquire: %v", v)
+	}
+	if _, v := a.acquire(context.Background()); v != admitShed {
+		t.Fatalf("second acquire: %v, want immediate shed", v)
+	}
+	rel()
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzReloadValidBinary renders the fixture store to its columnar
+// binary form once; truncations of it seed the fuzzer with inputs that
+// pass the magic check and fail deeper in the decoder.
+func fuzzReloadValidBinary(tb testing.TB) []byte {
+	var buf bytes.Buffer
+	if err := fixtureStore(12).SaveBinary(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzReloadSeeds are the committed-corpus inputs: truncations of a
+// valid snapshot (torn writes at several depths), plain garbage, a
+// valid file, and an empty file.
+func fuzzReloadSeeds(tb testing.TB) [][]byte {
+	valid := fuzzReloadValidBinary(tb)
+	return [][]byte{
+		{},
+		[]byte("not a snapshot at all"),
+		[]byte("SUPRMMC1"), // magic alone, nothing behind it
+		valid[:len(valid)/4],
+		valid[:len(valid)/2],
+		valid[:len(valid)-1],
+		valid,
+	}
+}
+
+// FuzzReloadCorrupt feeds arbitrary bytes through the poll-reload path
+// as jobs.supremm and asserts the self-healing contract: a failed
+// decode must never change the served snapshot (same pointer, same
+// generation) and the daemon keeps answering, while a byte-for-byte
+// valid file reloads normally. This is the breaker/reload analogue of
+// the codec-level FuzzColumnsDecode: here the property under test is
+// the daemon's behavior, not the decoder's.
+func FuzzReloadCorrupt(f *testing.F) {
+	for _, seed := range fuzzReloadSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		writeDataDir(t, dir, fixtureStore(6), fixtureSeries(3), nil)
+		srv, err := New(Config{DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := srv.Snapshot()
+		if err := os.WriteFile(filepath.Join(dir, "jobs.supremm"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := srv.Reload()
+		after := srv.Snapshot()
+		if rerr != nil {
+			if after != before {
+				t.Fatalf("failed reload changed the served snapshot (gen %d -> %d)",
+					before.Gen, after.Gen)
+			}
+			if status, body := get(t, srv, "/api/v1/health"); status != http.StatusOK {
+				t.Fatalf("health after failed reload: %d (%s)", status, body)
+			}
+			if status, _ := get(t, srv, "/healthz"); status != http.StatusOK {
+				t.Fatalf("healthz after failed reload: %d", status)
+			}
+		} else if after.Gen != before.Gen+1 {
+			t.Fatalf("successful reload: generation %d -> %d, want +1", before.Gen, after.Gen)
+		}
+	})
+}
+
+// TestRegenReloadCorpus rewrites the committed seed corpus under
+// testdata/fuzz/FuzzReloadCorrupt when -update is set, mirroring the
+// golden-file update flow. The corpus pins the torn-write shapes so
+// `make fuzz-smoke` replays them even without new fuzzing.
+func TestRegenReloadCorpus(t *testing.T) {
+	if !*update {
+		t.Skip("run with -update to regenerate the reload fuzz corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReloadCorrupt")
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzReloadSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

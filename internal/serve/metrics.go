@@ -38,6 +38,16 @@ type Metrics struct {
 	// writeFailures counts responses whose body write failed (client
 	// gone mid-response).
 	writeFailures atomic.Int64
+
+	// Overload accounting (DESIGN.md §13): shed counts load-shed
+	// requests (queue full or draining), cancelled counts clients that
+	// gave up while queued or mid-render, deadlineTimeouts counts
+	// requests cancelled by the per-request deadline, panics counts
+	// handler panics the recovery middleware absorbed.
+	shed             atomic.Int64
+	cancelled        atomic.Int64
+	deadlineTimeouts atomic.Int64
+	panics           atomic.Int64
 }
 
 func newMetrics() *Metrics {
@@ -103,6 +113,12 @@ type metricsDTO struct {
 	Reloads         int64            `json:"reloads"`
 	ReloadErrors    int64            `json:"reload_errors"`
 	WriteFailures   int64            `json:"write_failures"`
+	Shed            int64            `json:"shed"`
+	Cancelled       int64            `json:"cancelled"`
+	DeadlineTimeout int64            `json:"deadline_timeouts"`
+	PanicsRecovered int64            `json:"panics_recovered"`
+	Admission       admissionDTO     `json:"admission"`
+	Breaker         breakerDTO       `json:"breaker"`
 	Latency         latencyDTO       `json:"latency"`
 }
 
@@ -118,8 +134,9 @@ type latencyBucket struct {
 	Count    int64 `json:"count"`
 }
 
-// snapshotDTO renders the current counter values.
-func (m *Metrics) snapshotDTO(gen uint64, jobs int, cache *Cache) metricsDTO {
+// snapshotDTO renders the current counter values, folding in the
+// admission valve's gauges and the breaker's state.
+func (m *Metrics) snapshotDTO(gen uint64, jobs int, cache *Cache, adm *admission, brk *breaker) metricsDTO {
 	hits, misses := cache.Stats()
 	dto := metricsDTO{
 		StoreGeneration: gen,
@@ -135,6 +152,12 @@ func (m *Metrics) snapshotDTO(gen uint64, jobs int, cache *Cache) metricsDTO {
 		Reloads:         m.reloads.Load(),
 		ReloadErrors:    m.reloadErrors.Load(),
 		WriteFailures:   m.writeFailures.Load(),
+		Shed:            m.shed.Load(),
+		Cancelled:       m.cancelled.Load(),
+		DeadlineTimeout: m.deadlineTimeouts.Load(),
+		PanicsRecovered: m.panics.Load(),
+		Admission:       adm.dto(),
+		Breaker:         brk.dto(),
 	}
 	if total := hits + misses; total > 0 {
 		dto.CacheHitRatio = F(float64(hits) / float64(total))

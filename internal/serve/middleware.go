@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Hooks are instrumentation seams for the chaos harness and tests;
+// production builds leave them unset and pay a nil check.
+type Hooks struct {
+	// BeforeHandle runs inside the admission slot, before the handler
+	// body, for every guarded data request. A non-nil returned func runs
+	// when the handler finishes — the pair brackets exactly the
+	// in-flight window, which is how the chaos soak measures true
+	// concurrency independently of the admission gauge.
+	BeforeHandle func(ctx context.Context, path string) func()
+}
+
+// guard wraps a data handler with the overload controls, outermost
+// first: admission (shed or queue), then the per-request deadline,
+// then the chaos hook. Ops endpoints (/healthz, /readyz, /metrics,
+// /api/v1/health, reload) are deliberately unguarded — they must keep
+// answering while the daemon sheds query load, or operators lose sight
+// of the overload exactly when they need it.
+func (s *Server) guard(fn func(http.ResponseWriter, *http.Request) int) func(http.ResponseWriter, *http.Request) int {
+	return func(w http.ResponseWriter, r *http.Request) int {
+		release, verdict := s.adm.acquire(r.Context())
+		switch verdict {
+		case admitShed:
+			s.met.shed.Add(1)
+			return s.writeOverloaded(w, "in-flight limit and queue full")
+		case admitCancelled:
+			s.met.cancelled.Add(1)
+			return s.writeOverloaded(w, "client gave up while queued")
+		}
+		defer release()
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if h := s.cfg.Hooks.BeforeHandle; h != nil {
+			if done := h(r.Context(), r.URL.Path); done != nil {
+				defer done()
+			}
+		}
+		return fn(w, r)
+	}
+}
+
+// recoverWrap invokes fn, converting a handler panic into a counted
+// 500: one bad request (or one bug in one endpoint) must never take
+// the whole daemon down. The response write is best-effort — if the
+// handler panicked mid-body the client sees a torn reply, but the
+// daemon survives to serve the next request and the panic is visible
+// at /metrics (panics_recovered).
+func (s *Server) recoverWrap(fn func(http.ResponseWriter, *http.Request) int, w http.ResponseWriter, r *http.Request) (status int) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.met.panics.Add(1)
+			status = s.writeError(w, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", p))
+		}
+	}()
+	return fn(w, r)
+}
+
+// writeOverloaded answers a shed, timed-out, or abandoned request: 503
+// with Retry-After, so well-behaved clients and balancers back off
+// instead of hammering a daemon that has just told them it is at
+// capacity.
+func (s *Server) writeOverloaded(w http.ResponseWriter, reason string) int {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+	return s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("overloaded: %s", reason))
+}

@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"supremm/internal/leakcheck"
 )
 
 // raceTargets mix cached data endpoints, the uncached health/metrics
@@ -34,6 +36,7 @@ var raceTargets = []string{
 // race report or as a response that mixes generations (job counts that
 // match neither snapshot).
 func TestConcurrentQueriesDuringReload(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	// Two alternating corpora with distinct, recognizable job counts.
 	stA, seriesA := fixtureStore(40), fixtureSeries(12)
@@ -118,6 +121,7 @@ func TestConcurrentQueriesDuringReload(t *testing.T) {
 // goroutines at once; reloadMu must serialize the loads so exactly one
 // generation bump happens per directory change.
 func TestConcurrentMaybeReload(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	writeDataDir(t, dir, fixtureStore(10), fixtureSeries(4), nil)
 	srv := newTestServer(t, dir)

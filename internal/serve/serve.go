@@ -8,10 +8,14 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,9 +46,41 @@ type Config struct {
 	// reads the wall clock itself (the walltime invariant); cmd/supremmd
 	// injects time.Now, tests inject fakes or nothing.
 	Now func() time.Time
+
+	// MaxInFlight bounds concurrently executing data queries; 0 means
+	// the default (64), negative disables admission control entirely.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; beyond it
+	// requests are shed with 503 + Retry-After. 0 means the default
+	// (2x MaxInFlight), negative means no queue (shed at the limit).
+	MaxQueue int
+	// RequestTimeout is the per-request deadline for admitted data
+	// queries, propagated through context into the aggregation kernels
+	// so a slow query is cancelled instead of piling up; 0 disables.
+	RequestTimeout time.Duration
+	// RetryAfterSec is the Retry-After header value on shed and
+	// timed-out responses; 0 means the default (1).
+	RetryAfterSec int
+	// BreakerThreshold is the consecutive reload failures that open the
+	// snapshot-reload circuit breaker; 0 means the default (3).
+	BreakerThreshold int
+	// BreakerBackoffPolls is the breaker's initial open cooldown in
+	// poll ticks (doubling per failed probe, capped); 0 means the
+	// default (2).
+	BreakerBackoffPolls int
+	// Open, when non-nil, replaces os.Open for snapshot data files —
+	// the seam the chaos harness uses to inject slow-fs reads. Reads of
+	// jobs.supremm, jobs.jsonl and series.jsonl go through it.
+	Open func(path string) (io.ReadCloser, error)
+	// Hooks are chaos/test instrumentation; see Hooks.
+	Hooks Hooks
 }
 
-const defaultCacheSize = 1024
+const (
+	defaultCacheSize   = 1024
+	defaultMaxInFlight = 64
+	defaultRetryAfter  = 1
+)
 
 // Server is the query daemon: an http.Handler over the current
 // snapshot. Safe for concurrent use; Reload may run concurrently with
@@ -61,6 +97,10 @@ type Server struct {
 	lastGen      atomic.Uint64
 	cache        *Cache
 	met          *Metrics
+	adm          *admission // nil = admission disabled
+	brk          *breaker
+	retryAfter   int
+	open         func(path string) (io.ReadCloser, error)
 
 	// reloadMu serializes snapshot loads; queries never take it.
 	reloadMu sync.Mutex
@@ -81,7 +121,27 @@ func New(cfg Config) (*Server, error) {
 		size = 0 // disabled
 	}
 	s.cache = newCache(size)
-	snap, err := loadSnapshot(cfg.DataDir, s.lastGen.Add(1), cfg.RetryMax, cfg.Backoff)
+	limit := cfg.MaxInFlight
+	if limit == 0 {
+		limit = defaultMaxInFlight
+	}
+	if limit > 0 {
+		queueCap := cfg.MaxQueue
+		if queueCap == 0 {
+			queueCap = 2 * limit
+		}
+		s.adm = newAdmission(limit, queueCap)
+	}
+	s.retryAfter = cfg.RetryAfterSec
+	if s.retryAfter <= 0 {
+		s.retryAfter = defaultRetryAfter
+	}
+	s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerBackoffPolls)
+	s.open = cfg.Open
+	if s.open == nil {
+		s.open = osOpen
+	}
+	snap, err := loadSnapshot(cfg.DataDir, s.lastGen.Add(1), cfg.RetryMax, cfg.Backoff, s.open)
 	if err != nil {
 		return nil, err
 	}
@@ -90,20 +150,36 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// BeginDrain puts the daemon into shed-aware shutdown: every queued
+// request and every new arrival is answered 503 + Retry-After
+// immediately, while requests already executing run to completion
+// (http.Server.Shutdown collects those). Called by cmd/supremmd when
+// SIGTERM/SIGINT arrives, before the listener drain, so the drain
+// budget is spent on work that started — never on a queue that would
+// be killed anyway.
+func (s *Server) BeginDrain() { s.adm.beginDrain() }
+
 // Snapshot returns the current snapshot (never nil after New).
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // Reload loads a fresh snapshot from the data directory and swaps it
 // in. Concurrent queries keep using the old snapshot until the swap;
-// the old generation's cache entries are purged afterwards.
+// the old generation's cache entries are purged afterwards. A failed
+// load leaves the served snapshot untouched — the daemon keeps
+// answering from the last-good generation — and feeds the reload
+// circuit breaker; a success closes the breaker whatever its state.
+// Reload is the forced path (POST /api/v1/reload and the half-open
+// probe): it always attempts the load, even while the breaker is open.
 func (s *Server) Reload() (*Snapshot, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	snap, err := loadSnapshot(s.cfg.DataDir, s.lastGen.Add(1), s.cfg.RetryMax, s.cfg.Backoff)
+	snap, err := loadSnapshot(s.cfg.DataDir, s.lastGen.Add(1), s.cfg.RetryMax, s.cfg.Backoff, s.open)
 	if err != nil {
 		s.met.reloadErrors.Add(1)
+		s.brk.onFailure()
 		return nil, err
 	}
+	s.brk.onSuccess()
 	old := s.snap.Swap(snap)
 	s.met.reloads.Add(1)
 	if old != nil {
@@ -114,9 +190,15 @@ func (s *Server) Reload() (*Snapshot, error) {
 
 // MaybeReload reloads only if the data directory's fingerprint differs
 // from the loaded snapshot's — the poll step cmd/supremmd drives on a
-// ticker (fsnotify-free hot reload).
+// ticker (fsnotify-free hot reload). When the breaker is open the
+// attempt is skipped (no load, no error) until the cooldown elapses
+// and a half-open probe is due; the daemon keeps serving the last-good
+// snapshot throughout.
 func (s *Server) MaybeReload() (bool, error) {
 	if DirFingerprint(s.cfg.DataDir) == s.snap.Load().Fingerprint {
+		return false, nil
+	}
+	if !s.brk.tick() {
 		return false, nil
 	}
 	if _, err := s.Reload(); err != nil {
@@ -138,7 +220,11 @@ func (s *Server) route(method, path string, h http.HandlerFunc) {
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.routeMethods = make(map[string]string)
+	// Ops endpoints bypass admission: they must answer while the daemon
+	// sheds query load (panic recovery still applies via instrument).
 	s.route("GET", "/api/v1/health", s.instrument("/api/v1/health", s.handleHealth))
+	s.route("GET", "/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.route("GET", "/readyz", s.instrument("/readyz", s.handleReadyz))
 	s.route("GET", "/metrics", s.instrument("/metrics", s.handleMetrics))
 	s.route("POST", "/api/v1/reload", s.instrument("/api/v1/reload", s.handleReload))
 	s.data("/api/v1/aggregate", append([]string{"metric"}, filterKeys...), s.aggregate)
@@ -161,12 +247,12 @@ func (s *Server) routes() {
 	}))
 }
 
-// instrument wraps a handler with request counting and the latency
-// histogram. Handlers return the status code they wrote.
+// instrument wraps a handler with panic recovery, request counting and
+// the latency histogram. Handlers return the status code they wrote.
 func (s *Server) instrument(path string, fn func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.now()
-		status := fn(w, r)
+		status := s.recoverWrap(fn, w, r)
 		var elapsed time.Duration
 		if !start.IsZero() {
 			elapsed = s.now().Sub(start)
@@ -182,29 +268,31 @@ func (s *Server) now() time.Time {
 	return s.cfg.Now()
 }
 
-// data registers a cached JSON GET endpoint: decode params, consult the
-// generation-keyed cache, compute, render, store.
-func (s *Server) data(path string, keys []string, fn func(*Snapshot, Params) (any, error)) {
-	s.route("GET", path, s.instrument(path, func(w http.ResponseWriter, r *http.Request) int {
-		return s.serveCached(w, r, path, keys, "application/json", func(snap *Snapshot, p Params) ([]byte, error) {
-			v, err := fn(snap, p)
+// data registers a cached JSON GET endpoint behind the admission
+// guard: admit (or shed), decode params, consult the generation-keyed
+// cache, compute under the request deadline, render, store.
+func (s *Server) data(path string, keys []string, fn func(context.Context, *Snapshot, Params) (any, error)) {
+	s.route("GET", path, s.instrument(path, s.guard(func(w http.ResponseWriter, r *http.Request) int {
+		return s.serveCached(w, r, path, keys, "application/json", func(ctx context.Context, snap *Snapshot, p Params) ([]byte, error) {
+			v, err := fn(ctx, snap, p)
 			if err != nil {
 				return nil, err
 			}
 			return marshalBody(v)
 		})
-	}))
+	})))
 }
 
-// text registers a cached plain-text GET endpoint (the report suites).
-func (s *Server) text(path string, keys []string, fn func(*Snapshot, Params) ([]byte, error)) {
-	s.route("GET", path, s.instrument(path, func(w http.ResponseWriter, r *http.Request) int {
+// text registers a cached plain-text GET endpoint (the report suites),
+// guarded like data.
+func (s *Server) text(path string, keys []string, fn func(context.Context, *Snapshot, Params) ([]byte, error)) {
+	s.route("GET", path, s.instrument(path, s.guard(func(w http.ResponseWriter, r *http.Request) int {
 		return s.serveCached(w, r, path, keys, "text/plain; charset=utf-8", fn)
-	}))
+	})))
 }
 
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, path string, keys []string,
-	contentType string, render func(*Snapshot, Params) ([]byte, error)) int {
+	contentType string, render func(context.Context, *Snapshot, Params) ([]byte, error)) int {
 
 	q := r.URL.Query()
 	p, err := decodeParams(q, keys...)
@@ -216,8 +304,19 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, path string
 	if e, ok := s.cache.Get(key); ok {
 		return s.writeBody(w, http.StatusOK, e.contentType, e.body)
 	}
-	body, err := render(snap, p)
+	body, err := render(r.Context(), snap, p)
 	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// The per-request deadline fired mid-computation: the
+			// aggregation was cancelled, nothing is cached, and the
+			// client is told to back off.
+			s.met.deadlineTimeouts.Add(1)
+			return s.writeOverloaded(w, "request deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			s.met.cancelled.Add(1)
+			return s.writeOverloaded(w, "request cancelled")
+		}
 		if _, ok := err.(*badRequestError); ok {
 			return s.writeError(w, http.StatusBadRequest, err)
 		}
@@ -286,9 +385,50 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) int {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	snap := s.snap.Load()
-	body, err := marshalBody(s.met.snapshotDTO(snap.Gen, snap.Realm.Store.Len(), s.cache))
+	body, err := marshalBody(s.met.snapshotDTO(snap.Gen, snap.Realm.Store.Len(), s.cache, s.adm, s.brk))
 	if err != nil {
 		return s.writeError(w, http.StatusInternalServerError, err)
+	}
+	return s.writeBody(w, http.StatusOK, "application/json", body)
+}
+
+// handleHealthz is the liveness probe: it answers 200 whenever the
+// process can serve HTTP at all, regardless of data-directory health —
+// restarting the daemon does not fix a corrupt directory, so liveness
+// must not couple to it.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
+	snap := s.snap.Load()
+	body, err := marshalBody(map[string]any{
+		"status":     "live",
+		"generation": snap.Gen,
+		"jobs":       snap.Realm.Store.Len(),
+	})
+	if err != nil {
+		return s.writeError(w, http.StatusInternalServerError, err)
+	}
+	return s.writeBody(w, http.StatusOK, "application/json", body)
+}
+
+// handleReadyz is the readiness probe: 503 (with Retry-After) while
+// the reload breaker is open — the daemon still serves the last-good
+// generation, but balancers should prefer replicas with fresh data —
+// and 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) int {
+	snap := s.snap.Load()
+	brk := s.brk.dto()
+	ready := brk.State != breakerOpen.String()
+	body, err := marshalBody(map[string]any{
+		"ready":                ready,
+		"breaker":              brk.State,
+		"consecutive_failures": brk.ConsecutiveFailures,
+		"generation":           snap.Gen,
+	})
+	if err != nil {
+		return s.writeError(w, http.StatusInternalServerError, err)
+	}
+	if !ready {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+		return s.writeBody(w, http.StatusServiceUnavailable, "application/json", body)
 	}
 	return s.writeBody(w, http.StatusOK, "application/json", body)
 }
@@ -319,15 +459,19 @@ func realmFilter(snap *Snapshot, f store.Filter) store.Filter {
 	return f
 }
 
-func (s *Server) aggregate(snap *Snapshot, p Params) (any, error) {
+func (s *Server) aggregate(ctx context.Context, snap *Snapshot, p Params) (any, error) {
 	if p.Metric == "" {
 		return nil, badRequest("parameter metric is required")
 	}
 	f := realmFilter(snap, p.Filter)
-	return newAggDTO(p.Metric, snap.Realm.Store.AggregateParallel(p.Metric, f, s.workers)), nil
+	agg, err := snap.Realm.Store.AggregateParallelCtx(ctx, p.Metric, f, s.workers)
+	if err != nil {
+		return nil, err
+	}
+	return newAggDTO(p.Metric, agg), nil
 }
 
-func (s *Server) distribution(snap *Snapshot, p Params) (any, error) {
+func (s *Server) distribution(ctx context.Context, snap *Snapshot, p Params) (any, error) {
 	if p.Metric == "" {
 		return nil, badRequest("parameter metric is required")
 	}
@@ -340,7 +484,7 @@ func (s *Server) distribution(snap *Snapshot, p Params) (any, error) {
 	return newDistributionDTO(p.Metric, stats.NewHistogram(vals, lo, hi, p.Bins)), nil
 }
 
-func (s *Server) query(snap *Snapshot, p Params) (any, error) {
+func (s *Server) query(_ context.Context, snap *Snapshot, p Params) (any, error) {
 	q := core.Query{
 		GroupBy:   p.Group,
 		Metrics:   p.Metrics,
@@ -351,11 +495,11 @@ func (s *Server) query(snap *Snapshot, p Params) (any, error) {
 	return newQueryDTO(snap.Realm.RunQuery(q)), nil
 }
 
-func (s *Server) userProfiles(snap *Snapshot, p Params) (any, error) {
+func (s *Server) userProfiles(_ context.Context, snap *Snapshot, p Params) (any, error) {
 	return newProfileDTOs(snap.Realm.TopUserProfiles(p.N)), nil
 }
 
-func (s *Server) appProfiles(snap *Snapshot, p Params) (any, error) {
+func (s *Server) appProfiles(_ context.Context, snap *Snapshot, p Params) (any, error) {
 	apps := p.Apps
 	if len(apps) == 0 {
 		apps = []string{"namd", "amber", "gromacs"} // the Fig 3 MD codes
@@ -363,7 +507,7 @@ func (s *Server) appProfiles(snap *Snapshot, p Params) (any, error) {
 	return newProfileDTOs(snap.Realm.AppProfiles(apps)), nil
 }
 
-func (s *Server) efficiency(snap *Snapshot, p Params) (any, error) {
+func (s *Server) efficiency(_ context.Context, snap *Snapshot, p Params) (any, error) {
 	users := snap.Realm.EfficiencyReport()
 	if len(users) > p.Limit {
 		users = users[:p.Limit]
@@ -377,7 +521,7 @@ func (s *Server) efficiency(snap *Snapshot, p Params) (any, error) {
 	}, nil
 }
 
-func (s *Server) trends(snap *Snapshot, _ Params) (any, error) {
+func (s *Server) trends(_ context.Context, snap *Snapshot, _ Params) (any, error) {
 	out := []trendDTO{}
 	for _, t := range snap.Realm.TrendReport() {
 		out = append(out, trendDTO{
@@ -389,11 +533,11 @@ func (s *Server) trends(snap *Snapshot, _ Params) (any, error) {
 	return out, nil
 }
 
-func (s *Server) workload(snap *Snapshot, _ Params) (any, error) {
+func (s *Server) workload(_ context.Context, snap *Snapshot, _ Params) (any, error) {
 	return newWorkloadDTO(snap.Realm.Cluster, snap.Realm.Characterize()), nil
 }
 
-func (s *Server) quality(snap *Snapshot, _ Params) (any, error) {
+func (s *Server) quality(_ context.Context, snap *Snapshot, _ Params) (any, error) {
 	if snap.Quality == nil {
 		return map[string]any{"available": false}, nil
 	}
@@ -405,7 +549,7 @@ func (s *Server) quality(snap *Snapshot, _ Params) (any, error) {
 	}, nil
 }
 
-func (s *Server) reportSuite(snap *Snapshot, p Params) ([]byte, error) {
+func (s *Server) reportSuite(_ context.Context, snap *Snapshot, p Params) ([]byte, error) {
 	if p.Suite == "" {
 		return nil, badRequest("parameter suite is required")
 	}

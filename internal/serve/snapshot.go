@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -13,6 +14,10 @@ import (
 	"supremm/internal/ingest"
 	"supremm/internal/store"
 )
+
+// osOpen is the default file opener for snapshot loads; Config.Open
+// replaces it in tests and the chaos harness (slow-fs injection).
+func osOpen(path string) (io.ReadCloser, error) { return os.Open(path) }
 
 // Snapshot is one immutable, fully loaded view of a data directory:
 // the indexed store wrapped in a realm, the ingest quality report, and
@@ -69,8 +74,8 @@ func LoadRealm(dir string) (*core.Realm, error) {
 // the same ingest batch, so a damaged binary alongside a readable JSON
 // means the directory is torn and the load should retry, not silently
 // serve the other file.
-func loadStore(dir string) (*store.Store, string, error) {
-	bf, err := os.Open(filepath.Join(dir, "jobs.supremm"))
+func loadStore(dir string, open func(path string) (io.ReadCloser, error)) (*store.Store, string, error) {
+	bf, err := open(filepath.Join(dir, "jobs.supremm"))
 	if err == nil {
 		defer bf.Close()
 		st, err := store.LoadBinary(bf)
@@ -82,7 +87,7 @@ func loadStore(dir string) (*store.Store, string, error) {
 	if !errors.Is(err, fs.ErrNotExist) {
 		return nil, "", err
 	}
-	jf, err := os.Open(filepath.Join(dir, "jobs.jsonl"))
+	jf, err := open(filepath.Join(dir, "jobs.jsonl"))
 	if err != nil {
 		return nil, "", err
 	}
@@ -103,12 +108,18 @@ const (
 // LoadRealmSource is LoadRealm plus the job-store source label
 // (SourceBinary or SourceJSONL).
 func LoadRealmSource(dir string) (*core.Realm, string, error) {
-	st, source, err := loadStore(dir)
+	return loadRealmSource(dir, osOpen)
+}
+
+// loadRealmSource is LoadRealmSource with the file opener injected —
+// the daemon's snapshot loads route through Config.Open here.
+func loadRealmSource(dir string, open func(path string) (io.ReadCloser, error)) (*core.Realm, string, error) {
+	st, source, err := loadStore(dir, open)
 	if err != nil {
 		return nil, "", err
 	}
 	var series []store.SystemSample
-	if sf, err := os.Open(filepath.Join(dir, "series.jsonl")); err == nil {
+	if sf, err := open(filepath.Join(dir, "series.jsonl")); err == nil {
 		defer sf.Close()
 		series, err = store.LoadSeries(sf)
 		if err != nil {
@@ -157,14 +168,14 @@ func LoadQuality(dir string) (*ingest.DataQuality, error) {
 // transiently (half-written JSON); the retry/backoff idiom from
 // internal/ingest applies — retryMax extra attempts with the injected
 // backoff between them.
-func loadSnapshot(dir string, gen uint64, retryMax int, backoff func(attempt int)) (*Snapshot, error) {
+func loadSnapshot(dir string, gen uint64, retryMax int, backoff func(attempt int), open func(path string) (io.ReadCloser, error)) (*Snapshot, error) {
 	var lastErr error
 	for attempt := 0; attempt <= retryMax; attempt++ {
 		if attempt > 0 && backoff != nil {
 			backoff(attempt)
 		}
 		fp := DirFingerprint(dir)
-		realm, source, err := LoadRealmSource(dir)
+		realm, source, err := loadRealmSource(dir, open)
 		if err != nil {
 			lastErr = err
 			continue

@@ -117,7 +117,7 @@ func (s *Store) baselineAggregateParallel(m Metric, f Filter, workers int) Agg {
 	}
 	chunks := (len(idx) + aggChunk - 1) / aggChunk
 	partials := make([]aggPartial, chunks)
-	runChunks(chunks, workers, func(c int) {
+	runChunks(nil, chunks, workers, func(c int) {
 		lo, hi := c*aggChunk, (c+1)*aggChunk
 		if hi > len(idx) {
 			hi = len(idx)
@@ -159,7 +159,7 @@ func (s *Store) baselineAggregateParallel(m Metric, f Filter, workers int) Agg {
 	}
 	agg.Mean = swx / sw
 	mean := agg.Mean
-	runChunks(chunks, workers, func(c int) {
+	runChunks(nil, chunks, workers, func(c int) {
 		lo, hi := c*aggChunk, (c+1)*aggChunk
 		if hi > len(idx) {
 			hi = len(idx)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -120,14 +121,38 @@ type aggPartial struct {
 // kernel runs directly over the contiguous columns — same chunk
 // boundaries, same accumulation order, no materialized index.
 func (s *Store) AggregateParallel(m Metric, f Filter, workers int) Agg {
-	return s.aggregateSet(m, s.selectSet(f), workers)
+	return s.aggregateSet(nil, m, s.selectSet(f), workers)
+}
+
+// AggregateParallelCtx is AggregateParallel with cooperative
+// cancellation: the chunk scheduler checks ctx between chunks and
+// abandons the aggregation once the deadline passes or the caller
+// gives up, returning ctx's error instead of a half-summed Agg. On a
+// ctx that never fires the result is bit-identical to
+// AggregateParallel — the cancellation check never reorders or splits
+// chunk accumulation, it only decides whether the next chunk runs.
+func (s *Store) AggregateParallelCtx(ctx context.Context, m Metric, f Filter, workers int) (Agg, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	agg := s.aggregateSet(done, m, s.selectSet(f), workers)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Agg{}, err
+		}
+	}
+	return agg, nil
 }
 
 // aggregateSet is the chunked kernel over a selection. Both arms (the
 // contiguous all-rows sweep and the index-indirect sweep) enumerate the
 // same rows in the same order with the same 4096-row chunk partials, so
-// they are bit-identical whenever they see the same selection.
-func (s *Store) aggregateSet(m Metric, rs rowSet, workers int) Agg {
+// they are bit-identical whenever they see the same selection. A
+// non-nil done channel requests early abandonment: the partials become
+// meaningless and the caller must discard the returned Agg (only
+// AggregateParallelCtx passes one, and it checks ctx.Err after).
+func (s *Store) aggregateSet(done <-chan struct{}, m Metric, rs rowSet, workers int) Agg {
 	col := s.col(m)
 	weight := s.c.weight
 	n := rs.len()
@@ -138,7 +163,7 @@ func (s *Store) aggregateSet(m Metric, rs rowSet, workers int) Agg {
 	}
 	chunks := (n + aggChunk - 1) / aggChunk
 	partials := make([]aggPartial, chunks)
-	runChunks(chunks, workers, func(c int) {
+	runChunks(done, chunks, workers, func(c int) {
 		lo, hi := c*aggChunk, (c+1)*aggChunk
 		if hi > n {
 			hi = n
@@ -198,7 +223,7 @@ func (s *Store) aggregateSet(m Metric, rs rowSet, workers int) Agg {
 	}
 	agg.Mean = swx / sw
 	mean := agg.Mean
-	runChunks(chunks, workers, func(c int) {
+	runChunks(done, chunks, workers, func(c int) {
 		lo, hi := c*aggChunk, (c+1)*aggChunk
 		if hi > n {
 			hi = n
@@ -228,13 +253,19 @@ func (s *Store) aggregateSet(m Metric, rs rowSet, workers int) Agg {
 // runChunks executes fn(c) for every chunk index, on up to workers
 // goroutines. Chunk assignment is work-stealing (atomic counter) but
 // since each chunk writes only its own slot, the outcome is
-// deterministic regardless of scheduling.
-func runChunks(chunks, workers int, fn func(c int)) {
+// deterministic regardless of scheduling. A non-nil done channel is
+// polled between chunks: once it fires, no further chunks start
+// (chunks already running finish), so a cancelled aggregation stops
+// within one chunk's worth of work per worker.
+func runChunks(done <-chan struct{}, chunks, workers int, fn func(c int)) {
 	if workers > chunks {
 		workers = chunks
 	}
 	if workers <= 1 {
 		for c := 0; c < chunks; c++ {
+			if chunkCancelled(done) {
+				return
+			}
 			fn(c)
 		}
 		return
@@ -246,6 +277,9 @@ func runChunks(chunks, workers int, fn func(c int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if chunkCancelled(done) {
+					return
+				}
 				c := int(next.Add(1)) - 1
 				if c >= chunks {
 					return
@@ -255,4 +289,18 @@ func runChunks(chunks, workers int, fn func(c int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// chunkCancelled reports whether done has fired; a nil done never
+// cancels and costs only a nil check.
+func chunkCancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
