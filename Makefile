@@ -1,9 +1,9 @@
 # Convenience targets for the SUPReMM reproduction.
 GO ?= go
 
-.PHONY: all build test test-race vet lint lint-fast fuzz-smoke test-faults test-chaos test-serve test-store bench bench-ingest bench-serve bench-store figures dashboard clean
+.PHONY: all build test test-race vet lint lint-fast fuzz-smoke test-faults test-chaos test-serve test-store test-shards bench bench-ingest bench-serve bench-store figures dashboard clean
 
-all: build vet lint test test-race test-chaos
+all: build vet lint test test-race test-chaos test-shards
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,7 @@ lint-fast:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseFile -fuzztime 10s ./internal/taccstats
 	$(GO) test -run '^$$' -fuzz FuzzColumnsDecode -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzManifestDecode -fuzztime 10s ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzReloadCorrupt -fuzztime 10s ./internal/serve
 
 # Fault-injection differential suite under the race detector: corrupted
@@ -78,6 +79,15 @@ test-serve:
 test-store:
 	$(GO) test -race ./internal/store
 
+# Shard-store suite under the race detector: the manifest codec reject
+# matrix, the property-style shard/monolith differential equivalence,
+# torn-shard and stale-manifest fault injection at the serve layer, the
+# incremental-reload pointer-sharing + mid-reload bit-identity test,
+# and the golden two-day incremental run (ISSUE 9, DESIGN.md §14).
+test-shards:
+	$(GO) test -race -run 'Shard|Manifest|Incremental|EpochDay|ServeChaos|IngestCommandEndToEnd' \
+		./internal/store ./internal/serve ./internal/faultinject ./cmd/ingest
+
 test:
 	$(GO) test ./...
 
@@ -102,11 +112,13 @@ bench-serve:
 		./internal/serve ./internal/store | tee BENCH_serve.txt
 
 # Columnar store benchmarks: aggregation kernels vs the row path, the
-# binary codec, and the jsonl-vs-binary snapshot load; recorded in
-# EXPERIMENTS.md. The binary/jsonl load ratio backs the >=5x and the
-# columnar/row broad-scan ratio the >=2x acceptance criteria.
+# binary codec, the jsonl-vs-binary snapshot load, the incremental
+# shard reload vs a full load, and the whole-shard time-prune win;
+# recorded in EXPERIMENTS.md. The binary/jsonl load ratio backs the
+# >=5x load, the columnar/row broad-scan ratio the >=2x, and the
+# incremental/full reload ratio the >=5x reload acceptance criteria.
 bench-store:
-	$(GO) test -run '^$$' -bench 'BenchmarkAggregateColumnar|BenchmarkColumnsCodec|BenchmarkLoadRealm' -benchmem \
+	$(GO) test -run '^$$' -bench 'BenchmarkAggregateColumnar|BenchmarkColumnsCodec|BenchmarkLoadRealm|BenchmarkIncrementalReload|BenchmarkShardPrune' -benchmem \
 		./internal/store ./internal/serve | tee BENCH_store.txt
 
 # Render every paper figure as text plus vector/HTML artifacts.

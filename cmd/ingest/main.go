@@ -129,6 +129,11 @@ func runWorkers(rawDir, acctPath, out string, workers int, opts ingest.Options) 
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
+	// Group rows by job-end day before writing anything: the monolithic
+	// files (jobs.jsonl, jobs.supremm) then hold exactly the
+	// concatenation of the day shards, so whichever backing supremmd
+	// loads — shards, binary or jsonl — every response is byte-identical.
+	res.Store.ReorderByEndDay()
 	// Every output lands atomically (temp + fsync + rename in the same
 	// directory): supremmd polls this directory and must never catch a
 	// half-written batch. A reader sees either the previous files or the
@@ -154,6 +159,13 @@ func runWorkers(rawDir, acctPath, out string, workers int, opts ingest.Options) 
 	if err := writeFileAtomic(out, "quality.json", func(f *os.File) error {
 		return ingest.WriteQuality(f, &res.Quality)
 	}); err != nil {
+		return err
+	}
+	// The time-partitioned form: one immutable shard per job-end day
+	// plus the CRC-checked manifest, written shards-first so the
+	// manifest never names a shard that has not landed. supremmd
+	// prefers this backing and reloads a day's append incrementally.
+	if err := store.WriteShardDir(out, res.Store); err != nil {
 		return err
 	}
 	q := &res.Quality

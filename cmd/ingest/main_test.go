@@ -94,7 +94,28 @@ func TestIngestCommandEndToEnd(t *testing.T) {
 	if q.FilesQuarantined != 0 {
 		t.Errorf("clean sim archive quarantined %d files", q.FilesQuarantined)
 	}
-	// All four outputs went through the atomic temp+rename path; none of
+	// The time-partitioned form rides alongside the monolithic files:
+	// a CRC-checked manifest naming one shard per job-end day, whose
+	// union is record-for-record the monolithic store.
+	ss, err := store.LoadShardSet(out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.NumShards() < 2 {
+		t.Errorf("two-day sim produced %d shards, want >= 2", ss.NumShards())
+	}
+	if stats := ss.LoadStats(); stats.Loaded != ss.NumShards() || stats.Reused != 0 {
+		t.Errorf("cold shard load stats %+v, want %d loaded / 0 reused", stats, ss.NumShards())
+	}
+	if ss.Len() != st.Len() {
+		t.Errorf("shard set has %d jobs, jsonl has %d", ss.Len(), st.Len())
+	}
+	for i := 0; i < st.Len(); i++ {
+		if ss.Record(i) != st.Record(i) {
+			t.Fatalf("row %d: shard %+v != jsonl %+v", i, ss.Record(i), st.Record(i))
+		}
+	}
+	// All outputs went through the atomic temp+rename path; none of
 	// its work files may survive the run.
 	assertNoTempFiles(t, out)
 }

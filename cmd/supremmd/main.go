@@ -102,8 +102,8 @@ func run(ctx context.Context, opts options) error {
 		return err
 	}
 	snap := srv.Snapshot()
-	fmt.Fprintf(os.Stderr, "supremmd: serving %s (%d jobs, cluster %s, generation %d, %s source) on %s\n",
-		opts.data, snap.Realm.Store.Len(), snap.Realm.Cluster, snap.Gen, snap.Source, opts.addr)
+	fmt.Fprintf(os.Stderr, "supremmd: serving %s (%d jobs, cluster %s, generation %d, %s source, %d shards) on %s\n",
+		opts.data, snap.Realm.Store.Len(), snap.Realm.Cluster, snap.Gen, snap.Source, snap.Shards, opts.addr)
 
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
@@ -132,8 +132,8 @@ func run(ctx context.Context, opts options) error {
 						fmt.Fprintln(os.Stderr, "supremmd: reload:", err)
 					} else if reloaded {
 						s := srv.Snapshot()
-						fmt.Fprintf(os.Stderr, "supremmd: reloaded %s (%d jobs, generation %d)\n",
-							opts.data, s.Realm.Store.Len(), s.Gen)
+						fmt.Fprintf(os.Stderr, "supremmd: reloaded %s (%d jobs, generation %d, %d/%d shards reused)\n",
+							opts.data, s.Realm.Store.Len(), s.Gen, s.ShardsReused, s.Shards)
 					}
 				}
 			}

@@ -54,7 +54,7 @@ func robustZ(x, median, iqr float64) float64 {
 
 // Detect scans the realm's jobs and returns anomalies sorted by
 // descending |score|.
-func (d *Detector) Detect(st *store.Store, f store.Filter, metrics []store.Metric) []Anomaly {
+func (d *Detector) Detect(st store.Reader, f store.Filter, metrics []store.Metric) []Anomaly {
 	// Partition rows by app.
 	byApp := make(map[string][]store.JobRecord)
 	for _, rec := range st.Records(f) {
@@ -185,7 +185,7 @@ type FailureProfile struct {
 
 // FailureProfiles computes completion/failure rates grouped by app or
 // user (§4.3.1 "job completion failure profiles").
-func FailureProfiles(st *store.Store, by store.GroupKey, f store.Filter) []FailureProfile {
+func FailureProfiles(st store.Reader, by store.GroupKey, f store.Filter) []FailureProfile {
 	acc := make(map[string]*FailureProfile)
 	var order []string
 	for _, rec := range st.Records(f) {

@@ -21,12 +21,15 @@ type Realm struct {
 	MemPerNodeGB float64
 	PeakTFlops   float64
 
-	Store  *store.Store
+	// Store is the query surface — a monolithic *store.Store or a
+	// time-partitioned *store.ShardSet; every analysis is backing-
+	// agnostic because the two answer bit-identically (store.Reader).
+	Store  store.Reader
 	Series []store.SystemSample
 }
 
 // NewRealm assembles a realm.
-func NewRealm(clusterName string, coresPerNode int, memGB, peakTF float64, st *store.Store, series []store.SystemSample) *Realm {
+func NewRealm(clusterName string, coresPerNode int, memGB, peakTF float64, st store.Reader, series []store.SystemSample) *Realm {
 	return &Realm{
 		Cluster:      clusterName,
 		CoresPerNode: coresPerNode,

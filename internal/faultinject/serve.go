@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -33,11 +34,24 @@ const (
 	// a time or disconnects mid-body; the daemon's goroutines and
 	// admission slots must not leak on its account.
 	KindSlowClient Kind = "slow-client"
+	// KindTornShard overwrites one shard-<day>.supremm with a prefix of
+	// its bytes while MANIFEST.supremm keeps naming the healthy version
+	// — a shard writer killed mid-rewrite. The reload must fail the
+	// manifest verification (size/hash mismatch), keep serving the
+	// last-good generation, and trip the reload breaker.
+	KindTornShard Kind = "torn-shard"
+	// KindStaleManifest deletes a shard file the manifest still lists —
+	// a manifest landing without its shard (or a shard lost to cleanup/
+	// restore skew). Same required outcome: failed reload, last-good
+	// generation keeps serving, /readyz goes not-ready once the breaker
+	// opens.
+	KindStaleManifest Kind = "stale-manifest"
 )
 
 // ServeKinds lists the serve-layer fault classes.
 func ServeKinds() []Kind {
-	return []Kind{KindTornSnapshot, KindSlowRead, KindReloadStorm, KindSlowClient}
+	return []Kind{KindTornSnapshot, KindSlowRead, KindReloadStorm, KindSlowClient,
+		KindTornShard, KindStaleManifest}
 }
 
 // TornWrite overwrites path in place with the first frac of data, no
@@ -132,6 +146,52 @@ func (c *ServeChaos) TearSnapshot() (float64, error) {
 	frac := 0.05 + 0.9*c.rng.Float64()
 	c.counts[KindTornSnapshot]++
 	return frac, TornWrite(filepath.Join(c.dir, "jobs.supremm"), data, frac)
+}
+
+// shardNames returns the known-good shard file names, sorted, so the
+// seeded rng picks victims deterministically.
+func (c *ServeChaos) shardNames() []string {
+	var names []string
+	for name := range c.good {
+		if strings.HasPrefix(name, "shard-") && strings.HasSuffix(name, ".supremm") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TearShard tears one shard file in place (seeded pick, seeded
+// fraction), leaving MANIFEST.supremm untouched — the manifest now
+// describes bytes that no longer exist. Returns the victim file name
+// and the fraction kept. TornWrite always leaves a strict prefix, so
+// the file's size disagrees with its manifest entry and even an
+// incremental reload holding the healthy shard in memory must notice.
+func (c *ServeChaos) TearShard() (string, float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := c.shardNames()
+	if len(names) == 0 {
+		return "", 0, fmt.Errorf("faultinject: no known-good shard files")
+	}
+	name := names[c.rng.Intn(len(names))]
+	frac := 0.05 + 0.9*c.rng.Float64()
+	c.counts[KindTornShard]++
+	return name, frac, TornWrite(filepath.Join(c.dir, name), c.good[name], frac)
+}
+
+// StaleManifest deletes one shard file (seeded pick) while the
+// manifest keeps listing it, returning the victim file name.
+func (c *ServeChaos) StaleManifest() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := c.shardNames()
+	if len(names) == 0 {
+		return "", fmt.Errorf("faultinject: no known-good shard files")
+	}
+	name := names[c.rng.Intn(len(names))]
+	c.counts[KindStaleManifest]++
+	return name, os.Remove(filepath.Join(c.dir, name))
 }
 
 // Storm rewrites every known-good file non-atomically, rewrites times

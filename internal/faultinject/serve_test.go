@@ -161,14 +161,15 @@ func TestServeChaosTearHeal(t *testing.T) {
 
 func TestServeKinds(t *testing.T) {
 	kinds := ServeKinds()
-	if len(kinds) != 4 {
+	if len(kinds) != 6 {
 		t.Fatalf("ServeKinds() = %v", kinds)
 	}
 	seen := map[Kind]bool{}
 	for _, k := range kinds {
 		seen[k] = true
 	}
-	for _, k := range []Kind{KindTornSnapshot, KindSlowRead, KindReloadStorm, KindSlowClient} {
+	for _, k := range []Kind{KindTornSnapshot, KindSlowRead, KindReloadStorm, KindSlowClient,
+		KindTornShard, KindStaleManifest} {
 		if !seen[k] {
 			t.Errorf("missing kind %s", k)
 		}

@@ -249,6 +249,8 @@ type healthDTO struct {
 	Jobs       int    `json:"jobs"`
 	Series     int    `json:"series_samples"`
 	Indexed    bool   `json:"indexed"`
+	Source     string `json:"source"`
+	Shards     int    `json:"shards"`
 }
 
 func groupKeyName(k store.GroupKey) string {

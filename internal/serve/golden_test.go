@@ -2,12 +2,14 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -48,11 +50,10 @@ var goldenTargets = []string{
 	"/api/v1/report?suite=manager",
 }
 
-// buildGoldenData runs the full pipeline in-process: simulate a small
-// ranger with raw TACC_Stats archives, round-trip the accounting log
-// through its file format, ingest the archives, and write the data
-// directory the daemon loads — the same byte path production takes.
-func buildGoldenData(t testing.TB, root string) string {
+// simGoldenRaw simulates the golden ranger into raw TACC_Stats
+// archives under root and round-trips the accounting log through its
+// wire format, exactly as cmd/ingest reads it.
+func simGoldenRaw(t testing.TB, root string) (string, []sched.AcctRecord) {
 	t.Helper()
 	rawDir := filepath.Join(root, "raw")
 	cfg := sim.DefaultConfig(cluster.RangerConfig().Scaled(32), goldenSeed)
@@ -63,7 +64,6 @@ func buildGoldenData(t testing.TB, root string) string {
 		t.Fatal(err)
 	}
 
-	// Accounting goes through its wire format, as cmd/ingest reads it.
 	acctPath := filepath.Join(root, "accounting.log")
 	af, err := os.Create(acctPath)
 	if err != nil {
@@ -86,21 +86,44 @@ func buildGoldenData(t testing.TB, root string) string {
 	if err := rf.Close(); err != nil {
 		t.Fatal(err)
 	}
+	return rawDir, acct
+}
 
+// writeGoldenDataDir ingests the raw archives and writes the full data
+// directory in the cmd/ingest discipline: rows regrouped by job-end
+// day first, so the monolithic files hold exactly the concatenation of
+// the day shards, then jsonl + binary + series + quality + the shard
+// set with its manifest.
+func writeGoldenDataDir(t testing.TB, rawDir string, acct []sched.AcctRecord, dataDir string) {
+	t.Helper()
 	ing, err := ingest.IngestRawOpts(rawDir, acct, ingest.Options{Policy: ingest.Lenient, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dataDir := filepath.Join(root, "data")
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		t.Fatal(err)
 	}
+	ing.Store.ReorderByEndDay()
 	writeStoreFile(t, filepath.Join(dataDir, "jobs.jsonl"), ing.Store)
 	writeBinaryFile(t, filepath.Join(dataDir, "jobs.supremm"), ing.Store)
 	writeSeriesFile(t, filepath.Join(dataDir, "series.jsonl"), ing.Series)
 	if err := ingest.SaveQuality(filepath.Join(dataDir, "quality.json"), &ing.Quality); err != nil {
 		t.Fatal(err)
 	}
+	if err := store.WriteShardDir(dataDir, ing.Store); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildGoldenData runs the full pipeline in-process: simulate a small
+// ranger with raw TACC_Stats archives, round-trip the accounting log
+// through its file format, ingest the archives, and write the data
+// directory the daemon loads — the same byte path production takes.
+func buildGoldenData(t testing.TB, root string) string {
+	t.Helper()
+	rawDir, acct := simGoldenRaw(t, root)
+	dataDir := filepath.Join(root, "data")
+	writeGoldenDataDir(t, rawDir, acct, dataDir)
 	return dataDir
 }
 
@@ -167,16 +190,40 @@ func fetchAll(t testing.TB, srv *Server) map[string][]byte {
 	return out
 }
 
+// stripHealth re-marshals a health body with the named keys removed,
+// for comparisons across servers that legitimately differ in them
+// (load source, shard count, generation) while every data-bearing
+// field must still match.
+func stripHealth(t testing.TB, body []byte, drop ...string) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("health body not JSON: %v", err)
+	}
+	for _, k := range drop {
+		delete(m, k)
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 // TestGoldenEndToEnd pins the full pipeline: simulate → raw archives →
 // ingest → supremmd responses, compared byte-for-byte against the
 // committed golden files, and re-run from scratch to prove the chain
-// is bit-stable.
+// is bit-stable. The daemon must be answering from the sharded form —
+// the preferred load source is part of the pinned behavior.
 func TestGoldenEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end pipeline in -short mode")
 	}
 	dataDir := buildGoldenData(t, t.TempDir())
 	srv := newTestServer(t, dataDir)
+	if src := srv.Snapshot().Source; src != SourceShards {
+		t.Fatalf("golden pipeline loaded from %q, want %q", src, SourceShards)
+	}
 	got := fetchAll(t, srv)
 
 	if *update {
@@ -216,48 +263,222 @@ func TestGoldenEndToEnd(t *testing.T) {
 	}
 }
 
-// TestGoldenLoadPaths proves the two load paths are observationally
-// identical: a daemon that loaded jobs.supremm answers every pinned
-// endpoint with exactly the bytes of a daemon that loaded jobs.jsonl.
-// The binary snapshot is a pure encoding change — no response may
-// depend on which file backed the store.
+// TestGoldenLoadPaths proves the three load paths are observationally
+// identical: a daemon that loaded the shard set answers every pinned
+// endpoint with exactly the bytes of one that loaded jobs.supremm, and
+// of one that loaded jobs.jsonl. The backing is a pure encoding choice
+// — no data response may depend on which files backed the store. Only
+// /health may differ, and only in the fields that name the backing.
 func TestGoldenLoadPaths(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end pipeline in -short mode")
 	}
-	dataDir := buildGoldenData(t, t.TempDir())
+	shardDir := buildGoldenData(t, t.TempDir())
 
-	// jsonlDir is the same directory minus the binary snapshot, forcing
-	// the fallback path.
-	jsonlDir := filepath.Join(t.TempDir(), "data")
-	if err := os.MkdirAll(jsonlDir, 0o755); err != nil {
+	// binDir drops the manifest and shards, forcing the monolithic
+	// binary; jsonlDir additionally drops the binary, forcing jsonl.
+	copyInto := func(names []string) string {
+		dir := filepath.Join(t.TempDir(), "data")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			b, err := os.ReadFile(filepath.Join(shardDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+	binDir := copyInto([]string{"jobs.supremm", "jobs.jsonl", "series.jsonl", "quality.json"})
+	jsonlDir := copyInto([]string{"jobs.jsonl", "series.jsonl", "quality.json"})
+
+	servers := []struct {
+		name   string
+		srv    *Server
+		source string
+	}{
+		{"shards", newTestServer(t, shardDir), SourceShards},
+		{"binary", newTestServer(t, binDir), SourceBinary},
+		{"jsonl", newTestServer(t, jsonlDir), SourceJSONL},
+	}
+	bodies := make([]map[string][]byte, len(servers))
+	for i, s := range servers {
+		if got := s.srv.Snapshot().Source; got != s.source {
+			t.Fatalf("%s directory loaded from %q, want %q", s.name, got, s.source)
+		}
+		bodies[i] = fetchAll(t, s.srv)
+	}
+
+	for _, target := range goldenTargets {
+		for i := 1; i < len(servers); i++ {
+			got, want := bodies[i][target], bodies[0][target]
+			if target == "/api/v1/health" {
+				// The health endpoint names its backing; everything else
+				// in it must still agree across sources.
+				got = stripHealth(t, got, "source", "shards")
+				want = stripHealth(t, want, "source", "shards")
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: %s-loaded response differs from shards-loaded\n%s:\n%s\nshards:\n%s",
+					target, servers[i].name, servers[i].name, clip(got), clip(want))
+			}
+		}
+	}
+}
+
+// maxRawDay scans the raw tree (rawDir/<host>/<day>.raw) for the
+// latest day any archive covers.
+func maxRawDay(t testing.TB, rawDir string) int64 {
+	t.Helper()
+	hosts, err := os.ReadDir(rawDir)
+	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"jobs.jsonl", "series.jsonl", "quality.json"} {
-		b, err := os.ReadFile(filepath.Join(dataDir, name))
+	maxDay := int64(-1 << 62)
+	for _, h := range hosts {
+		if !h.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(rawDir, h.Name()))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(jsonlDir, name), b, 0o644); err != nil {
-			t.Fatal(err)
+		for _, f := range files {
+			day, err := strconv.ParseInt(strings.TrimSuffix(f.Name(), ".raw"), 10, 64)
+			if err != nil {
+				t.Fatalf("unexpected raw file %s/%s: %v", h.Name(), f.Name(), err)
+			}
+			if day > maxDay {
+				maxDay = day
+			}
 		}
 	}
+	return maxDay
+}
 
-	srvBin := newTestServer(t, dataDir)
-	srvJSON := newTestServer(t, jsonlDir)
-	if got := srvBin.Snapshot().Source; got != SourceBinary {
-		t.Fatalf("snapshot with jobs.supremm loaded from %q, want %q", got, SourceBinary)
+// stageRawBefore copies the raw tree, keeping only archives for days
+// strictly before cutoff — the corpus as it stood before the last
+// day's collection landed.
+func stageRawBefore(t testing.TB, rawDir string, cutoff int64) string {
+	t.Helper()
+	dst := filepath.Join(t.TempDir(), "raw")
+	hosts, err := os.ReadDir(rawDir)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := srvJSON.Snapshot().Source; got != SourceJSONL {
-		t.Fatalf("snapshot without jobs.supremm loaded from %q, want %q", got, SourceJSONL)
+	for _, h := range hosts {
+		if !h.IsDir() {
+			continue
+		}
+		if err := os.MkdirAll(filepath.Join(dst, h.Name()), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		files, err := os.ReadDir(filepath.Join(rawDir, h.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			day, err := strconv.ParseInt(strings.TrimSuffix(f.Name(), ".raw"), 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if day >= cutoff {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(rawDir, h.Name(), f.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, h.Name(), f.Name()), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return dst
+}
+
+// TestGoldenIncrementalReload pins the operational loop the shard
+// store exists for: ingest a partial corpus (the raw tree minus its
+// last day), serve it, then land the full ingest in the same directory
+// and poll. The daemon must pick the batch up incrementally — adopting
+// the byte-identical history shards from the previous generation — and
+// afterwards answer every pinned endpoint with exactly the committed
+// golden bytes, indistinguishable from a cold full load.
+func TestGoldenIncrementalReload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline in -short mode")
+	}
+	root := t.TempDir()
+	rawDir, acct := simGoldenRaw(t, root)
+	partialRaw := stageRawBefore(t, rawDir, maxRawDay(t, rawDir))
+
+	dataDir := filepath.Join(root, "data")
+	writeGoldenDataDir(t, partialRaw, acct, dataDir)
+	srv := newTestServer(t, dataDir)
+	snapA := srv.Snapshot()
+	if snapA.Source != SourceShards {
+		t.Fatalf("partial corpus loaded from %q, want %q", snapA.Source, SourceShards)
+	}
+	if snapA.Shards < 2 {
+		t.Fatalf("partial corpus produced %d shards; need >= 2 for a reuse check", snapA.Shards)
 	}
 
-	fromBin := fetchAll(t, srvBin)
-	fromJSON := fetchAll(t, srvJSON)
+	// The full batch lands in place; the poll must catch it.
+	writeGoldenDataDir(t, rawDir, acct, dataDir)
+	reloaded, err := srv.MaybeReload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reloaded {
+		t.Fatal("MaybeReload missed the full batch")
+	}
+	snapB := srv.Snapshot()
+	if snapB.Gen <= snapA.Gen {
+		t.Fatalf("generation did not advance (%d -> %d)", snapA.Gen, snapB.Gen)
+	}
+	if snapB.Shards < snapA.Shards {
+		t.Fatalf("full corpus has %d shards, fewer than partial's %d", snapB.Shards, snapA.Shards)
+	}
+	// History days re-ingest to byte-identical shards, so the reload
+	// must have adopted them rather than re-decoded. Jobs straddling
+	// the cutoff can shift the last partial day's shard, so the floor
+	// is "some reuse", not "all but one".
+	if snapB.ShardsReused < 1 {
+		t.Fatalf("incremental reload reused %d shards, want >= 1 (%d total)",
+			snapB.ShardsReused, snapB.Shards)
+	}
+	t.Logf("incremental reload: %d -> %d shards, %d reused",
+		snapA.Shards, snapB.Shards, snapB.ShardsReused)
+
+	// The incrementally-reloaded daemon is indistinguishable from a
+	// cold load of the full corpus — and from the committed goldens.
+	got := fetchAll(t, srv)
+	cold := fetchAll(t, newTestServer(t, dataDir))
 	for _, target := range goldenTargets {
-		if !bytes.Equal(fromBin[target], fromJSON[target]) {
-			t.Errorf("%s: binary-loaded response differs from jsonl-loaded\nbinary:\n%s\njsonl:\n%s",
-				target, clip(fromBin[target]), clip(fromJSON[target]))
+		gotBody, coldBody := got[target], cold[target]
+		if target == "/api/v1/health" {
+			// Generation is the one legitimate difference: the live
+			// daemon is on gen 2, the cold reference on gen 1.
+			gotBody = stripHealth(t, gotBody, "generation")
+			coldBody = stripHealth(t, coldBody, "generation")
+		}
+		if !bytes.Equal(gotBody, coldBody) {
+			t.Errorf("%s: incrementally-reloaded response differs from cold full load\ngot:\n%s\ncold:\n%s",
+				target, clip(gotBody), clip(coldBody))
+		}
+		if *update || target == "/api/v1/health" {
+			continue // goldens are written by TestGoldenEndToEnd at gen 1
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", "golden", goldenFileName(target)))
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate)", target, err)
+		}
+		if !bytes.Equal(got[target], want) {
+			t.Errorf("%s: post-reload response differs from committed golden", target)
 		}
 	}
 }

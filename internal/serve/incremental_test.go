@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"supremm/internal/ingest"
+	"supremm/internal/leakcheck"
+	"supremm/internal/store"
+)
+
+// dayStore builds a store whose rows land in exactly days consecutive
+// epoch days, perDay rows each, already in day order — the shape the
+// shard tests need full control over (appending a day must leave every
+// earlier day's rows, and therefore its shard bytes, untouched).
+func dayStore(days, perDay int) *store.Store {
+	st := store.New()
+	for d := 0; d < days; d++ {
+		for j := 0; j < perDay; j++ {
+			i := d*perDay + j
+			r := store.JobRecord{
+				JobID:   int64(1000 + i),
+				Cluster: "ranger",
+				User:    fmt.Sprintf("u%02d", i%9),
+				App:     []string{"namd", "amber", "gromacs", "wrf"}[i%4],
+				Science: []string{"Chemistry", "Physics"}[i%2],
+				Nodes:   1 + i%16,
+				Status:  "completed",
+				Samples: 1 + i%4,
+			}
+			r.End = int64(d)*store.SecondsPerDay + int64(3600+60*j)
+			r.Start = r.End - 1800
+			r.Submit = r.Start - 120
+			r.CPUIdleFrac = float64(i%10) / 10
+			r.MemUsedGB = float64(i % 13)
+			r.FlopsGF = 1.5 * float64(i%9)
+			st.Add(r)
+		}
+	}
+	return st
+}
+
+// writeShardDataDir writes the full sharded data directory: day shards
+// plus manifest (the preferred load source) alongside the monolithic
+// files, exactly the set cmd/ingest lands.
+func writeShardDataDir(t testing.TB, dir string, st *store.Store, series []store.SystemSample, q *ingest.DataQuality) {
+	t.Helper()
+	st.ReorderByEndDay()
+	writeDataDir(t, dir, st, series, q)
+	if err := store.WriteShardDir(dir, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalReloadSharing is the incremental-reload invariant
+// suite: append one day's shard under a query storm and assert that
+// (a) unchanged shards are shared by pointer across generations — the
+// previous generation's column arrays, not copies;
+// (b) every response served mid-reload is bit-identical to either the
+// old generation's answer or the new one's, never a mixture;
+// (c) goroutines return to baseline (leakcheck).
+func TestIncrementalReloadSharing(t *testing.T) {
+	leakcheck.Check(t)
+	const perDay = 40
+	quality := &ingest.DataQuality{FilesScanned: 9}
+
+	dir := t.TempDir()
+	writeShardDataDir(t, dir, dayStore(3, perDay), fixtureSeries(30), quality)
+	srv := newTestServer(t, dir)
+	snapA := srv.Snapshot()
+	if snapA.Source != SourceShards {
+		t.Fatalf("loaded from %q, want %q", snapA.Source, SourceShards)
+	}
+	if snapA.Shards != 3 || snapA.ShardsReused != 0 {
+		t.Fatalf("initial snapshot: %d shards (%d reused), want 3 (0)", snapA.Shards, snapA.ShardsReused)
+	}
+	ssA := snapA.Realm.Store.(*store.ShardSet)
+
+	// The two legitimate generations' bodies: gen A from the live
+	// server before the append, gen B from an independent server over
+	// the appended corpus.
+	dirB := t.TempDir()
+	writeShardDataDir(t, dirB, dayStore(4, perDay), fixtureSeries(30), quality)
+	srvB := newTestServer(t, dirB)
+	bodyA := make(map[string][]byte, len(chaosTargets))
+	bodyB := make(map[string][]byte, len(chaosTargets))
+	for _, target := range chaosTargets {
+		status, body := get(t, srv, target)
+		if status != http.StatusOK {
+			t.Fatalf("baseline %s: status %d", target, status)
+		}
+		bodyA[target] = body
+		if status, body = get(t, srvB, target); status != http.StatusOK {
+			t.Fatalf("reference %s: status %d", target, status)
+		}
+		bodyB[target] = body
+	}
+
+	// Query storm across the reload: every 200 body must be exactly one
+	// generation's answer.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				target := chaosTargets[(g+i)%len(chaosTargets)]
+				status, body := get(t, srv, target)
+				if status != http.StatusOK {
+					select {
+					case errc <- fmt.Errorf("%s: status %d mid-reload", target, status):
+					default:
+					}
+					return
+				}
+				if !bytes.Equal(body, bodyA[target]) && !bytes.Equal(body, bodyB[target]) {
+					select {
+					case errc <- fmt.Errorf("%s: mid-reload body matches neither generation", target):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Day 4 lands; the poll picks it up.
+	writeShardDataDir(t, dir, dayStore(4, perDay), fixtureSeries(30), quality)
+	reloaded, err := srv.MaybeReload()
+	stop.Store(true)
+	wg.Wait()
+	close(errc)
+	for e := range errc {
+		t.Error(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reloaded {
+		t.Fatal("MaybeReload missed the appended day")
+	}
+
+	snapB := srv.Snapshot()
+	if snapB.Shards != 4 || snapB.ShardsReused != 3 {
+		t.Fatalf("incremental snapshot: %d shards (%d reused), want 4 (3)", snapB.Shards, snapB.ShardsReused)
+	}
+	ssB := snapB.Realm.Store.(*store.ShardSet)
+	for i := 0; i < ssA.NumShards(); i++ {
+		old, now := ssA.ShardAt(i), ssB.ShardAt(i)
+		if old.ID() != now.ID() {
+			t.Fatalf("shard %d changed ID %d -> %d", i, old.ID(), now.ID())
+		}
+		if old != now {
+			t.Errorf("unchanged shard %d re-decoded instead of adopted", old.ID())
+		}
+		if &old.Columns().JobID[0] != &now.Columns().JobID[0] {
+			t.Errorf("shard %d column arrays copied instead of pointer-shared", old.ID())
+		}
+	}
+
+	// Post-reload the live server answers bit-identically to the
+	// reference server that cold-loaded the full corpus.
+	for _, target := range chaosTargets {
+		status, body := get(t, srv, target)
+		if status != http.StatusOK {
+			t.Fatalf("post-reload %s: status %d", target, status)
+		}
+		if !bytes.Equal(body, bodyB[target]) {
+			t.Errorf("post-reload %s diverges from cold full load", target)
+		}
+	}
+}
+
+// BenchmarkIncrementalReload compares a full snapshot load against the
+// incremental path after a one-day append on a ~90-day shard history.
+// bench-store greps this name; the ratio backs the O(1 day) reload
+// acceptance criterion enforced by TestIncrementalReloadSpeedupFloor.
+func BenchmarkIncrementalReload(b *testing.B) {
+	const days, perDay = 90, 150
+	dir := b.TempDir()
+	writeShardDataDir(b, dir, dayStore(days, perDay), fixtureSeries(8), nil)
+	base, err := loadSnapshot(dir, 1, 0, nil, osOpen, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One new day lands; history shards are rewritten byte-identically.
+	writeShardDataDir(b, dir, dayStore(days+1, perDay), fixtureSeries(8), nil)
+
+	b.Run("full-load", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := loadSnapshot(dir, 2, 0, nil, osOpen, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap, err := loadSnapshot(dir, 2, 0, nil, osOpen, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if snap.ShardsReused != days {
+				b.Fatalf("reused %d shards, want %d", snap.ShardsReused, days)
+			}
+		}
+	})
+}
+
+// TestIncrementalReloadSpeedupFloor is the executable form of the
+// incremental-reload acceptance criterion: after appending one day to a
+// 90-day history, reloading against the previous generation must be at
+// least 5x faster than a cold full load. Measured ratios are far
+// higher; 5x keeps scheduler noise from flaking it.
+func TestIncrementalReloadSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("90-day load comparison in -short mode")
+	}
+	const days, perDay = 90, 150
+	dir := t.TempDir()
+	writeShardDataDir(t, dir, dayStore(days, perDay), fixtureSeries(8), nil)
+	base, err := loadSnapshot(dir, 1, 0, nil, osOpen, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeShardDataDir(t, dir, dayStore(days+1, perDay), fixtureSeries(8), nil)
+
+	full := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := loadSnapshot(dir, 2, 0, nil, osOpen, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	incr := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := loadSnapshot(dir, 2, 0, nil, osOpen, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ratio := float64(full.NsPerOp()) / float64(incr.NsPerOp())
+	t.Logf("full %v/op, incremental %v/op, speedup %.1fx", full.NsPerOp(), incr.NsPerOp(), ratio)
+	if ratio < 5 {
+		t.Errorf("one-day append reload only %.1fx faster than full load, want >= 5x", ratio)
+	}
+}

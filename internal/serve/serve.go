@@ -141,7 +141,7 @@ func New(cfg Config) (*Server, error) {
 	if s.open == nil {
 		s.open = osOpen
 	}
-	snap, err := loadSnapshot(cfg.DataDir, s.lastGen.Add(1), cfg.RetryMax, cfg.Backoff, s.open)
+	snap, err := loadSnapshot(cfg.DataDir, s.lastGen.Add(1), cfg.RetryMax, cfg.Backoff, s.open, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +173,9 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 func (s *Server) Reload() (*Snapshot, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	snap, err := loadSnapshot(s.cfg.DataDir, s.lastGen.Add(1), s.cfg.RetryMax, s.cfg.Backoff, s.open)
+	// The current snapshot seeds incremental shard reuse: unchanged
+	// shards are shared by pointer with the generation still serving.
+	snap, err := loadSnapshot(s.cfg.DataDir, s.lastGen.Add(1), s.cfg.RetryMax, s.cfg.Backoff, s.open, s.snap.Load())
 	if err != nil {
 		s.met.reloadErrors.Add(1)
 		s.brk.onFailure()
@@ -376,6 +378,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) int {
 		Jobs:       snap.Realm.Store.Len(),
 		Series:     len(snap.Realm.Series),
 		Indexed:    snap.Realm.Store.HasIndex(),
+		Source:     snap.Source,
+		Shards:     snap.Shards,
 	})
 	if err != nil {
 		return s.writeError(w, http.StatusInternalServerError, err)

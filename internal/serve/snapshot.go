@@ -7,6 +7,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 
 	"supremm/internal/cluster"
@@ -29,31 +30,49 @@ type Snapshot struct {
 	Realm       *core.Realm
 	Quality     *ingest.DataQuality
 	Fingerprint string
-	// Source records which jobs file backed the load: "binary"
-	// (jobs.supremm) or "jsonl" (jobs.jsonl). Informational only — the
-	// two paths produce bit-identical stores (see TestGoldenLoadPaths).
+	// Source records which jobs backing served the load: "shards"
+	// (MANIFEST.supremm + shard files), "binary" (jobs.supremm) or
+	// "jsonl" (jobs.jsonl). Informational only — the three paths
+	// produce bit-identical responses (see TestGoldenLoadPaths).
 	Source string
+	// Shards and ShardsReused describe a sharded load: how many
+	// partitions back the realm and how many were adopted pointer-wise
+	// from the previous generation instead of decoded (both zero for
+	// monolithic sources).
+	Shards       int
+	ShardsReused int
 }
 
-// snapshotFiles are the data-directory members whose change forces a
-// reload, in fingerprint order. The binary snapshot is listed first:
-// it is the preferred load source.
-var snapshotFiles = []string{"jobs.supremm", "jobs.jsonl", "series.jsonl", "quality.json"}
+// snapshotFiles are the fixed-name data-directory members whose change
+// forces a reload, in fingerprint order. The manifest is listed first:
+// the sharded form is the preferred load source.
+var snapshotFiles = []string{store.ManifestFile, "jobs.supremm", "jobs.jsonl", "series.jsonl", "quality.json"}
 
 // DirFingerprint summarizes the load-relevant files of a data directory
-// (size + mtime per file). The daemon polls this instead of watching
-// the filesystem: cmd/ingest rewrites whole files, so a changed
-// fingerprint is exactly "a new batch landed".
+// (size + mtime per file, plus every shard file the directory holds).
+// The daemon polls this instead of watching the filesystem: cmd/ingest
+// rewrites whole files, so a changed fingerprint is exactly "a new
+// batch landed" — including a new day's shard appearing or an existing
+// day's shard being rewritten.
 func DirFingerprint(dir string) string {
 	fp := ""
-	for _, name := range snapshotFiles {
-		fp += name + ":"
-		if st, err := os.Stat(filepath.Join(dir, name)); err == nil {
+	stamp := func(path string) {
+		if st, err := os.Stat(path); err == nil {
 			fp += strconv.FormatInt(st.Size(), 10) + "," + strconv.FormatInt(st.ModTime().UnixNano(), 10)
 		} else {
 			fp += "absent"
 		}
 		fp += ";"
+	}
+	for _, name := range snapshotFiles {
+		fp += name + ":"
+		stamp(filepath.Join(dir, name))
+	}
+	shardFiles, _ := filepath.Glob(filepath.Join(dir, "shard-*.supremm"))
+	sort.Strings(shardFiles)
+	for _, p := range shardFiles {
+		fp += filepath.Base(p) + ":"
+		stamp(p)
 	}
 	return fp
 }
@@ -67,14 +86,30 @@ func LoadRealm(dir string) (*core.Realm, error) {
 	return realm, err
 }
 
-// loadStore reads the job store, preferring the columnar binary
-// snapshot (jobs.supremm) and falling back to JSON lines (jobs.jsonl)
-// when the binary file is absent. A binary file that exists but fails
-// to decode is an error, not a fallback: the two files are written by
-// the same ingest batch, so a damaged binary alongside a readable JSON
-// means the directory is torn and the load should retry, not silently
-// serve the other file.
-func loadStore(dir string, open func(path string) (io.ReadCloser, error)) (*store.Store, string, error) {
+// loadStore reads the job store, preferring the time-partitioned shard
+// form (MANIFEST.supremm + shard-<day>.supremm, loaded incrementally
+// against prev's shards), then the monolithic columnar binary
+// (jobs.supremm), then JSON lines (jobs.jsonl). A preferred form that
+// exists but fails to load is an error, not a fallback: the files are
+// written by the same ingest batch, so a damaged manifest or shard
+// alongside readable fallbacks means the directory is torn and the
+// load should retry, not silently serve another file.
+func loadStore(dir string, open func(path string) (io.ReadCloser, error), prev *store.ShardSet) (store.Reader, string, error) {
+	mdata, err := readManifest(dir, open)
+	if err == nil {
+		entries, err := store.DecodeManifest(mdata)
+		if err != nil {
+			return nil, "", fmt.Errorf("serve: %s: %w", store.ManifestFile, err)
+		}
+		ss, err := store.LoadShards(dir, entries, prev, store.Opener(open))
+		if err != nil {
+			return nil, "", err
+		}
+		return ss, SourceShards, nil
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		return nil, "", err
+	}
 	bf, err := open(filepath.Join(dir, "jobs.supremm"))
 	if err == nil {
 		defer bf.Close()
@@ -99,22 +134,42 @@ func loadStore(dir string, open func(path string) (io.ReadCloser, error)) (*stor
 	return st, SourceJSONL, nil
 }
 
+// readManifest reads the shard manifest bytes through the injected
+// opener (so chaos slow-fs wrapping applies to the manifest too).
+func readManifest(dir string, open func(path string) (io.ReadCloser, error)) ([]byte, error) {
+	mf, err := open(filepath.Join(dir, store.ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	data, rerr := io.ReadAll(mf)
+	cerr := mf.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return data, nil
+}
+
 // Snapshot source labels.
 const (
+	SourceShards = "shards"
 	SourceBinary = "binary"
 	SourceJSONL  = "jsonl"
 )
 
 // LoadRealmSource is LoadRealm plus the job-store source label
-// (SourceBinary or SourceJSONL).
+// (SourceShards, SourceBinary or SourceJSONL).
 func LoadRealmSource(dir string) (*core.Realm, string, error) {
-	return loadRealmSource(dir, osOpen)
+	return loadRealmSource(dir, osOpen, nil)
 }
 
-// loadRealmSource is LoadRealmSource with the file opener injected —
-// the daemon's snapshot loads route through Config.Open here.
-func loadRealmSource(dir string, open func(path string) (io.ReadCloser, error)) (*core.Realm, string, error) {
-	st, source, err := loadStore(dir, open)
+// loadRealmSource is LoadRealmSource with the file opener and the
+// previous generation's shard set injected — the daemon's snapshot
+// loads route through Config.Open and incremental shard reuse here.
+func loadRealmSource(dir string, open func(path string) (io.ReadCloser, error), prev *store.ShardSet) (*core.Realm, string, error) {
+	st, source, err := loadStore(dir, open, prev)
 	if err != nil {
 		return nil, "", err
 	}
@@ -168,14 +223,24 @@ func LoadQuality(dir string) (*ingest.DataQuality, error) {
 // transiently (half-written JSON); the retry/backoff idiom from
 // internal/ingest applies — retryMax extra attempts with the injected
 // backoff between them.
-func loadSnapshot(dir string, gen uint64, retryMax int, backoff func(attempt int), open func(path string) (io.ReadCloser, error)) (*Snapshot, error) {
+// prev, when non-nil, enables incremental shard reuse: shards whose
+// manifest entry (and on-disk size) are unchanged from the previous
+// snapshot's set are adopted by pointer instead of re-decoded, making
+// a one-day append reload O(1 day) instead of O(history).
+func loadSnapshot(dir string, gen uint64, retryMax int, backoff func(attempt int), open func(path string) (io.ReadCloser, error), prev *Snapshot) (*Snapshot, error) {
+	var prevShards *store.ShardSet
+	if prev != nil {
+		if ss, ok := prev.Realm.Store.(*store.ShardSet); ok {
+			prevShards = ss
+		}
+	}
 	var lastErr error
 	for attempt := 0; attempt <= retryMax; attempt++ {
 		if attempt > 0 && backoff != nil {
 			backoff(attempt)
 		}
 		fp := DirFingerprint(dir)
-		realm, source, err := loadRealmSource(dir, open)
+		realm, source, err := loadRealmSource(dir, open, prevShards)
 		if err != nil {
 			lastErr = err
 			continue
@@ -191,8 +256,17 @@ func loadSnapshot(dir string, gen uint64, retryMax int, backoff func(attempt int
 			lastErr = fmt.Errorf("serve: %s changed during load", dir)
 			continue
 		}
+		// Indexing skips shards adopted from prev (they already carry
+		// their postings), so an incremental reload indexes only the new
+		// day's rows.
 		realm.Store.BuildIndex()
-		return &Snapshot{Gen: gen, Realm: realm, Quality: quality, Fingerprint: fp, Source: source}, nil
+		snap := &Snapshot{Gen: gen, Realm: realm, Quality: quality, Fingerprint: fp, Source: source}
+		if ss, ok := realm.Store.(*store.ShardSet); ok {
+			stats := ss.LoadStats()
+			snap.Shards = ss.NumShards()
+			snap.ShardsReused = stats.Reused
+		}
+		return snap, nil
 	}
 	return nil, fmt.Errorf("serve: load %s: %w", dir, lastErr)
 }

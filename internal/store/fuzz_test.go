@@ -70,3 +70,72 @@ func FuzzColumnsDecode(f *testing.F) {
 		}
 	})
 }
+
+// fuzzSeedManifests builds the manifest seed inputs: valid one- and
+// multi-entry manifests plus each structured corruption class the
+// decoder must reject (truncation, hostile counts, duplicate shard IDs,
+// overlapping/out-of-day time ranges, resealed header damage). The
+// committed corpus under testdata/fuzz/FuzzManifestDecode holds the
+// same classes so `go test` replays them even without -fuzz.
+func fuzzSeedManifests() [][]byte {
+	valid := EncodeManifest(manifestFixture())
+	one := EncodeManifest(manifestFixture()[:1])
+	empty := EncodeManifest(nil)
+	seeds := [][]byte{valid, one, empty, {}, valid[:manifestHeaderLen], valid[:len(valid)-5]}
+
+	crc := append([]byte(nil), valid...)
+	crc[len(crc)/2] ^= 0xff
+	seeds = append(seeds, crc)
+
+	body := valid[:len(valid)-4]
+	hostileCount := append([]byte(nil), body...)
+	binary.LittleEndian.PutUint64(hostileCount[16:], 1<<60)
+	seeds = append(seeds, reseal(hostileCount))
+
+	day := int64(7)
+	lo := day * SecondsPerDay
+	seeds = append(seeds,
+		// duplicate shard IDs
+		EncodeManifest([]ShardInfo{
+			{ID: day, Rows: 1, MinEnd: lo, MaxEnd: lo, Size: 64, Hash: 1},
+			{ID: day, Rows: 1, MinEnd: lo, MaxEnd: lo, Size: 64, Hash: 2},
+		}),
+		// time range spilling past its day (the overlap shape)
+		EncodeManifest([]ShardInfo{{ID: day, Rows: 1, MinEnd: lo, MaxEnd: lo + SecondsPerDay, Size: 64, Hash: 1}}),
+		// trailing garbage after the entry region
+		reseal(append(append([]byte(nil), body...), 1, 2, 3, 4)),
+	)
+	return seeds
+}
+
+// FuzzManifestDecode hammers the shard-manifest decoder with arbitrary
+// bytes: it must either reject with an error or accept — and every
+// accepted input must re-encode byte-identically (the manifest format
+// is a bijection on its valid set), with entries that honor the
+// decoder's own invariants. It must never panic and never over-allocate
+// from a hostile count.
+func FuzzManifestDecode(f *testing.F) {
+	for _, seed := range fuzzSeedManifests() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if re := EncodeManifest(entries); !bytes.Equal(re, data) {
+			t.Fatalf("accepted manifest does not re-encode to itself (%d entries)", len(entries))
+		}
+		for i, e := range entries {
+			if e.Rows < 1 {
+				t.Fatalf("entry %d: accepted zero rows", i)
+			}
+			if i > 0 && e.ID <= entries[i-1].ID {
+				t.Fatalf("entry %d: accepted non-ascending id %d after %d", i, e.ID, entries[i-1].ID)
+			}
+			if EpochDay(e.MinEnd) != e.ID || EpochDay(e.MaxEnd) != e.ID || e.MinEnd > e.MaxEnd {
+				t.Fatalf("entry %d: accepted time range [%d,%d] outside day %d", i, e.MinEnd, e.MaxEnd, e.ID)
+			}
+		}
+	})
+}

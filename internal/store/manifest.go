@@ -1,0 +1,459 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Shard manifest format ("MANIFEST.supremm", DESIGN.md §14).
+//
+// The job store is time-partitioned into one immutable columnar file
+// per job-end epoch day ("shard-<epochday>.supremm", each in the
+// jobs.supremm codec), and the manifest is the authoritative list of
+// the partitions one ingest batch produced: for each shard its
+// partition key, row count, end-time range, file size and content
+// hash, little-endian, followed by a CRC32 over everything before it.
+//
+// Layout:
+//
+//	magic "SUPRMMS1" | version u32 | flags u32 | count u64
+//	count × entry { id i64 | rows u64 | minEnd i64 | maxEnd i64 | size u64 | hash u32 }
+//	crc32 u32 (IEEE, over all preceding bytes)
+//
+// Decoding is as strict as the columnar codec's: the CRC must match,
+// the entry region must be exactly count entries long (no trailing
+// bytes), shard IDs must be strictly ascending (no duplicates), every
+// shard must hold at least one row, and each entry's end-time range
+// must lie inside its own day — which structurally rejects overlapping
+// shard time ranges. encode(decode(m)) == m for every accepted m.
+const (
+	manifestMagic   = "SUPRMMS1"
+	manifestVersion = 1
+	// manifestHeaderLen is magic + version + flags + entry count.
+	manifestHeaderLen = 8 + 4 + 4 + 8
+	// manifestEntryLen is one fixed-width shard entry.
+	manifestEntryLen = 8 + 8 + 8 + 8 + 8 + 4
+	// manifestMaxID bounds |shard ID| so id*SecondsPerDay can never
+	// overflow int64 on hostile input (2^40 days is ~3e9 years).
+	manifestMaxID = 1 << 40
+)
+
+// SecondsPerDay is the shard partition width: one epoch day.
+const SecondsPerDay = 86400
+
+// ManifestFile is the manifest's file name inside a data directory.
+const ManifestFile = "MANIFEST.supremm"
+
+// ShardFileName returns the shard file name for an epoch day.
+func ShardFileName(day int64) string { return fmt.Sprintf("shard-%d.supremm", day) }
+
+// EpochDay returns the epoch day containing the unix timestamp
+// (floored division, so pre-1970 timestamps land in negative days).
+func EpochDay(ts int64) int64 {
+	d := ts / SecondsPerDay
+	if ts%SecondsPerDay < 0 {
+		d--
+	}
+	return d
+}
+
+// ShardInfo is one manifest entry: the identity and integrity metadata
+// of a single shard file.
+type ShardInfo struct {
+	// ID is the epoch day of every job end in the shard.
+	ID int64
+	// Rows is the shard's record count (always >= 1; empty days have no
+	// shard).
+	Rows int
+	// MinEnd and MaxEnd bound the shard's job-end timestamps, used for
+	// whole-shard time pruning without opening the file.
+	MinEnd int64
+	MaxEnd int64
+	// Size is the shard file's byte length and Hash the CRC32 (IEEE) of
+	// its full contents; loads verify both before trusting the decode.
+	Size int64
+	Hash uint32
+}
+
+// EncodeManifest serializes manifest entries. Entries must already be
+// in ascending ID order (WriteShardDir's partition order).
+func EncodeManifest(entries []ShardInfo) []byte {
+	buf := make([]byte, 0, manifestHeaderLen+len(entries)*manifestEntryLen+4)
+	buf = append(buf, manifestMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, manifestVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // flags, reserved
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.ID))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Rows))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.MinEnd))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.MaxEnd))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Size))
+		buf = binary.LittleEndian.AppendUint32(buf, e.Hash)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeManifest parses and validates manifest bytes. Any structural
+// damage — truncation, checksum mismatch, trailing bytes, duplicate or
+// unordered shard IDs, hostile counts or out-of-day time ranges — is
+// an error, never a panic and never a silently wrong shard list.
+func DecodeManifest(data []byte) ([]ShardInfo, error) {
+	if len(data) < manifestHeaderLen+4 {
+		return nil, fmt.Errorf("store: manifest is %d bytes, shorter than any valid manifest", len(data))
+	}
+	body := data[:len(data)-4]
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("store: manifest checksum mismatch (%08x != %08x)", got, sum)
+	}
+	d := decoder{data: body}
+	magic, err := d.take(len(manifestMagic))
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != manifestMagic {
+		return nil, fmt.Errorf("store: bad manifest magic %q", magic)
+	}
+	version, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if version != manifestVersion {
+		return nil, fmt.Errorf("store: unsupported manifest version %d (want %d)", version, manifestVersion)
+	}
+	flags, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if flags != 0 {
+		return nil, fmt.Errorf("store: unsupported manifest flags %#x", flags)
+	}
+	count, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	// The entry region must hold exactly count entries: checked against
+	// the remaining bytes before the allocation is sized from it.
+	if count > uint64(d.remaining())/manifestEntryLen {
+		return nil, fmt.Errorf("store: manifest claims %d shards in %d bytes", count, d.remaining())
+	}
+	if int(count)*manifestEntryLen != d.remaining() {
+		return nil, fmt.Errorf("store: manifest has %d entry bytes, want %d for %d shards",
+			d.remaining(), int(count)*manifestEntryLen, count)
+	}
+	entries := make([]ShardInfo, 0, count)
+	for k := uint64(0); k < count; k++ {
+		id, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		rows, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		minEnd, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		maxEnd, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		size, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		hash, err := d.uint32()
+		if err != nil {
+			return nil, err
+		}
+		e := ShardInfo{
+			ID: int64(id), MinEnd: int64(minEnd), MaxEnd: int64(maxEnd), Hash: hash,
+		}
+		if e.ID < -manifestMaxID || e.ID > manifestMaxID {
+			return nil, fmt.Errorf("store: manifest shard id %d out of range", e.ID)
+		}
+		if rows == 0 {
+			return nil, fmt.Errorf("store: manifest shard %d claims zero rows", e.ID)
+		}
+		if size > uint64(1)<<62 || rows > size/4 {
+			// A shard row costs far more than 4 bytes in the columnar
+			// codec; a count past this is hostile, not merely corrupt.
+			return nil, fmt.Errorf("store: manifest shard %d claims %d rows in %d bytes", e.ID, rows, size)
+		}
+		e.Rows = int(rows)
+		e.Size = int64(size)
+		if len(entries) > 0 && e.ID <= entries[len(entries)-1].ID {
+			return nil, fmt.Errorf("store: manifest shard ids not strictly ascending (%d after %d)",
+				e.ID, entries[len(entries)-1].ID)
+		}
+		// The shard's end-time range must lie inside its own day; this
+		// also makes overlapping time ranges between shards impossible.
+		dayLo := e.ID * SecondsPerDay
+		if e.MinEnd < dayLo || e.MaxEnd >= dayLo+SecondsPerDay || e.MinEnd > e.MaxEnd {
+			return nil, fmt.Errorf("store: manifest shard %d time range [%d,%d] outside its day [%d,%d)",
+				e.ID, e.MinEnd, e.MaxEnd, dayLo, dayLo+SecondsPerDay)
+		}
+		entries = append(entries, e)
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("store: manifest has %d trailing bytes", d.remaining())
+	}
+	return entries, nil
+}
+
+// ReorderByEndDay stably reorders the store's rows so they are grouped
+// by job-end epoch day, days ascending, preserving the existing order
+// within each day. This makes the monolithic row order identical to
+// the concatenation of the day shards WriteShardDir produces — the
+// invariant that keeps the jsonl, binary and sharded load paths
+// answering byte-identically. Drops any index (like Add).
+func (s *Store) ReorderByEndDay() {
+	recs := make([]JobRecord, s.Len())
+	for i := range recs {
+		recs[i] = s.Record(i)
+	}
+	sort.SliceStable(recs, func(a, b int) bool {
+		return EpochDay(recs[a].End) < EpochDay(recs[b].End)
+	})
+	*s = Store{}
+	for _, r := range recs {
+		s.Add(r)
+	}
+}
+
+// partitionByEndDay splits the store into per-epoch-day columnar
+// partitions, days ascending, preserving row order within each day.
+func (s *Store) partitionByEndDay() ([]int64, []*Columns) {
+	byDay := make(map[int64]*Columns)
+	var days []int64
+	for i, n := 0, s.Len(); i < n; i++ {
+		r := s.Record(i)
+		d := EpochDay(r.End)
+		c := byDay[d]
+		if c == nil {
+			c = &Columns{}
+			byDay[d] = c
+			days = append(days, d)
+		}
+		c.appendRecord(r)
+	}
+	sort.Slice(days, func(a, b int) bool { return days[a] < days[b] })
+	cols := make([]*Columns, len(days))
+	for i, d := range days {
+		cols[i] = byDay[d]
+	}
+	return days, cols
+}
+
+// WriteShardDir writes the store's time-partitioned form into dir: one
+// shard-<epochday>.supremm per job-end day plus MANIFEST.supremm. Each
+// file lands atomically (temp + fsync + rename), shards before the
+// manifest, so a poller never sees a manifest naming a shard that has
+// not landed; shard files from an earlier batch whose day dropped out
+// of the manifest are removed afterwards. Shard content is a pure
+// function of the rows, so rewriting an unchanged day produces
+// byte-identical files (same size, same hash) and the incremental
+// loader reuses the in-memory shard.
+func WriteShardDir(dir string, s *Store) error {
+	days, cols := s.partitionByEndDay()
+	entries := make([]ShardInfo, len(days))
+	keep := make(map[string]bool, len(days)+1)
+	for i, day := range days {
+		payload := EncodeColumns(cols[i])
+		name := ShardFileName(day)
+		entries[i] = ShardInfo{
+			ID:     day,
+			Rows:   cols[i].Len(),
+			MinEnd: cols[i].minEnd,
+			MaxEnd: cols[i].maxEnd,
+			Size:   int64(len(payload)),
+			Hash:   crc32.ChecksumIEEE(payload),
+		}
+		if err := writeShardFileAtomic(dir, name, payload); err != nil {
+			return err
+		}
+		keep[name] = true
+	}
+	if err := writeShardFileAtomic(dir, ManifestFile, EncodeManifest(entries)); err != nil {
+		return err
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, "shard-*.supremm"))
+	if err != nil {
+		return err
+	}
+	for _, p := range stale {
+		if !keep[filepath.Base(p)] {
+			if err := os.Remove(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeShardFileAtomic lands bytes at dir/name via temp + fsync +
+// rename in the same directory — the cmd/ingest discipline, so a
+// polling daemon sees either the old file or the new one, never a
+// half-written shard.
+func writeShardFileAtomic(dir, name string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+name+".tmp*")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Opener abstracts file opening for shard loads; nil means os.Open.
+// The serve layer passes its Config.Open seam through here so chaos
+// harnesses can inject slow or failing reads.
+type Opener func(path string) (io.ReadCloser, error)
+
+func defaultOpener(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+// LoadShardSet reads dir's manifest and loads (or, against prev,
+// reuses) every shard it lists.
+func LoadShardSet(dir string, prev *ShardSet) (*ShardSet, error) {
+	return LoadShardSetOpen(dir, prev, nil)
+}
+
+// LoadShardSetOpen is LoadShardSet with the file opener injected.
+func LoadShardSetOpen(dir string, prev *ShardSet, open Opener) (*ShardSet, error) {
+	if open == nil {
+		open = defaultOpener
+	}
+	data, err := readAllClose(open, filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	entries, err := DecodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", ManifestFile, err)
+	}
+	return LoadShards(dir, entries, prev, open)
+}
+
+// LoadShards assembles a shard set from already-decoded manifest
+// entries. A shard whose manifest entry is unchanged from prev — same
+// ID, rows, size, hash — and whose on-disk file still has the manifest
+// size is adopted from prev by pointer (columns shared, no copy, no
+// decode); everything else is read, CRC-verified against the manifest,
+// and decoded, in parallel. This is what makes a one-day append reload
+// O(1 day) instead of O(history).
+func LoadShards(dir string, entries []ShardInfo, prev *ShardSet, open Opener) (*ShardSet, error) {
+	if open == nil {
+		open = defaultOpener
+	}
+	shards := make([]*Shard, len(entries))
+	var work []int
+	for i, e := range entries {
+		if prev != nil {
+			if sh := prev.shardByID(e.ID); sh != nil && sh.info == e {
+				// The entry matches the previous generation's, but the
+				// file on disk may still have been replaced or torn with
+				// the manifest left stale: verify at least its size before
+				// trusting the in-memory copy. (Writers producing a
+				// different same-size content also produce a different
+				// hash, which already failed the entry equality.)
+				if st, err := os.Stat(filepath.Join(dir, ShardFileName(e.ID))); err == nil && st.Size() == e.Size {
+					shards[i] = sh
+					continue
+				}
+			}
+		}
+		work = append(work, i)
+	}
+	errs := make([]error, len(work))
+	runChunks(nil, len(work), runtime.GOMAXPROCS(0), func(c int) {
+		i := work[c]
+		shards[i], errs[c] = loadShard(dir, entries[i], open)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return newShardSet(shards, ShardLoadStats{
+		Loaded: len(work),
+		Reused: len(entries) - len(work),
+	}), nil
+}
+
+// loadShard reads and verifies one shard file against its manifest
+// entry: byte length, content CRC, decoded row count and time range
+// must all agree, so a stale manifest or a torn/substituted shard file
+// fails the load instead of serving mixed generations.
+func loadShard(dir string, e ShardInfo, open Opener) (*Shard, error) {
+	name := ShardFileName(e.ID)
+	data, err := readAllClose(open, filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("store: shard %s: %w", name, err)
+	}
+	if int64(len(data)) != e.Size {
+		return nil, fmt.Errorf("store: shard %s is %d bytes, manifest says %d", name, len(data), e.Size)
+	}
+	if got := crc32.ChecksumIEEE(data); got != e.Hash {
+		return nil, fmt.Errorf("store: shard %s content hash %08x does not match manifest %08x", name, got, e.Hash)
+	}
+	c, err := DecodeColumns(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: shard %s: %w", name, err)
+	}
+	if c.Len() != e.Rows {
+		return nil, fmt.Errorf("store: shard %s decoded %d rows, manifest says %d", name, c.Len(), e.Rows)
+	}
+	if c.minEnd != e.MinEnd || c.maxEnd != e.MaxEnd {
+		return nil, fmt.Errorf("store: shard %s end range [%d,%d] does not match manifest [%d,%d]",
+			name, c.minEnd, c.maxEnd, e.MinEnd, e.MaxEnd)
+	}
+	return &Shard{info: e, st: FromColumns(c)}, nil
+}
+
+// readAllClose opens, fully reads and closes one file.
+func readAllClose(open Opener, path string) ([]byte, error) {
+	rc, err := open(path)
+	if err != nil {
+		return nil, err
+	}
+	data, rerr := io.ReadAll(rc)
+	cerr := rc.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return data, nil
+}

@@ -1,0 +1,208 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// splitParts cuts st's rows at the given strictly-ascending interior
+// positions into columnar partitions — the in-memory analogue of an
+// arbitrary day partitioning, so equivalence can be checked for any
+// split, not just the day splits production produces.
+func splitParts(st *Store, cuts []int) []*Columns {
+	bounds := append(append([]int{0}, cuts...), st.Len())
+	parts := make([]*Columns, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		p := New()
+		for r := bounds[i]; r < bounds[i+1]; r++ {
+			p.Add(st.Record(r))
+		}
+		parts = append(parts, p.Columns())
+	}
+	return parts
+}
+
+// randomCuts draws n distinct interior split points.
+func randomCuts(rng *rand.Rand, rows, n int) []int {
+	set := map[int]bool{}
+	for len(set) < n {
+		set[1+rng.Intn(rows-1)] = true
+	}
+	cuts := make([]int, 0, n)
+	for c := range set {
+		cuts = append(cuts, c)
+	}
+	sort.Ints(cuts)
+	return cuts
+}
+
+func groupsBitsEqual(a, b []Group) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	feq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].N != b[i].N || !feq(a[i].NodeHours, b[i].NodeHours) {
+			return false
+		}
+		if len(a[i].Mean) != len(b[i].Mean) {
+			return false
+		}
+		for m, av := range a[i].Mean {
+			bv, ok := b[i].Mean[m]
+			if !ok || !feq(av, bv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func floatsBitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardDifferentialEquivalence is the property-style suite: for
+// seeded random split points, a ShardSet must answer every query API
+// bit-identically to the monolithic store holding the same rows in the
+// same order — serial and parallel, any worker count, selective and
+// broad filters, indexed or not. This is the invariant that lets the
+// serve layer treat the two backings as interchangeable.
+func TestShardDifferentialEquivalence(t *testing.T) {
+	const rows = 5000
+	st := equivStore(rows)
+	st.BuildIndex() // the reference; indexing never changes results
+	rng := rand.New(rand.NewSource(1))
+	metrics := []Metric{MetricCPUIdle, MetricMemUsed, MetricFlops, MetricRead}
+	keys := []GroupKey{ByUser, ByApp, ByScience, ByCluster, ByStatus}
+
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		ncuts := trial % 7 // 0 cuts = single shard through 6 cuts = 7 shards
+		cuts := randomCuts(rng, rows, ncuts)
+		ss := NewShardSet(splitParts(st, cuts))
+		if trial%2 == 1 {
+			ss.BuildIndex()
+		}
+
+		for fi, f := range equivFilters {
+			fail := func(what string) {
+				t.Fatalf("trial %d (cuts %v, indexed %v), filter %d %+v: %s diverges from monolithic",
+					trial, cuts, ss.HasIndex(), fi, f, what)
+			}
+			wantSel := st.Select(f)
+			gotSel := ss.Select(f)
+			if len(gotSel) != len(wantSel) {
+				fail("Select length")
+			}
+			for i := range gotSel {
+				if gotSel[i] != wantSel[i] {
+					fail("Select")
+				}
+			}
+			wantRecs := st.Records(f)
+			gotRecs := ss.Records(f)
+			if len(gotRecs) != len(wantRecs) {
+				fail("Records length")
+			}
+			for i := range gotRecs {
+				// equivStore plants NaN metric values, so struct equality
+				// would reject identical records; formatted comparison
+				// treats NaN == NaN while still seeing every field.
+				if fmt.Sprintf("%+v", gotRecs[i]) != fmt.Sprintf("%+v", wantRecs[i]) {
+					fail("Records")
+				}
+			}
+			if math.Float64bits(ss.TotalNodeHours(f)) != math.Float64bits(st.TotalNodeHours(f)) {
+				fail("TotalNodeHours")
+			}
+			for _, m := range metrics {
+				// Serial compares against serial and chunked against
+				// chunked: the two monolithic kernels accumulate in
+				// different orders by design (fixed 4096-row chunks vs one
+				// running sum), and the shard set replicates each exactly.
+				want := st.Aggregate(m, f)
+				if got := ss.Aggregate(m, f); !aggBitsEqual(got, want) {
+					fail("Aggregate " + string(m))
+				}
+				wantPar := st.AggregateParallel(m, f, 4)
+				for _, w := range []int{1, 3, 5} {
+					if got := ss.AggregateParallel(m, f, w); !aggBitsEqual(got, wantPar) {
+						fail("AggregateParallel " + string(m))
+					}
+				}
+				got, err := ss.AggregateParallelCtx(context.Background(), m, f, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !aggBitsEqual(got, wantPar) {
+					fail("AggregateParallelCtx " + string(m))
+				}
+				wv, ww := st.Values(m, f)
+				gv, gw := ss.Values(m, f)
+				if !floatsBitsEqual(gv, wv) || !floatsBitsEqual(gw, ww) {
+					fail("Values " + string(m))
+				}
+			}
+			for _, k := range keys {
+				want := st.GroupBy(k, metrics[:2], f)
+				if got := ss.GroupBy(k, metrics[:2], f); !groupsBitsEqual(got, want) {
+					fail("GroupBy")
+				}
+			}
+		}
+	}
+}
+
+// TestShardDifferentialDayParts pins the production split — partition
+// by end day, exactly what WriteShardDir writes — against the same
+// store reordered by day, including parallel paths under every worker
+// count a small machine would see.
+func TestShardDifferentialDayParts(t *testing.T) {
+	st := multiDayStore(4000)
+	st.BuildIndex()
+	_, cols := st.partitionByEndDay()
+	ss := NewShardSet(cols)
+	ss.BuildIndex()
+	for _, f := range equivFilters {
+		for _, m := range []Metric{MetricCPUIdle, MetricMemUsed, MetricFlops} {
+			want := st.AggregateParallel(m, f, 2)
+			for w := 1; w <= 6; w++ {
+				if got := ss.AggregateParallel(m, f, w); !aggBitsEqual(got, want) {
+					t.Fatalf("day split, %s, %d workers, %+v: parallel diverges", m, w, f)
+				}
+			}
+			if got := ss.Aggregate(m, f); !aggBitsEqual(got, st.Aggregate(m, f)) {
+				t.Fatalf("day split, %s, %+v: serial diverges", m, f)
+			}
+		}
+	}
+}
+
+// TestShardAggregateCtxCancel mirrors the monolithic contract: a
+// cancelled context aborts the cross-shard aggregation with an error.
+func TestShardAggregateCtxCancel(t *testing.T) {
+	st := equivStore(3000)
+	_, cols := st.partitionByEndDay()
+	ss := NewShardSet(cols)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ss.AggregateParallelCtx(ctx, MetricCPUIdle, Filter{}, 4); err == nil {
+		t.Error("cancelled context did not abort cross-shard aggregation")
+	}
+}

@@ -1,0 +1,391 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEpochDayFloors(t *testing.T) {
+	cases := []struct{ ts, day int64 }{
+		{0, 0}, {1, 0}, {86399, 0}, {86400, 1}, {86401, 1},
+		{2 * 86400, 2}, {-1, -1}, {-86399, -1}, {-86400, -1}, {-86401, -2},
+	}
+	for _, c := range cases {
+		if got := EpochDay(c.ts); got != c.day {
+			t.Errorf("EpochDay(%d) = %d, want %d", c.ts, got, c.day)
+		}
+	}
+}
+
+func manifestFixture() []ShardInfo {
+	return []ShardInfo{
+		{ID: -3, Rows: 5, MinEnd: -3 * SecondsPerDay, MaxEnd: -3*SecondsPerDay + 10, Size: 400, Hash: 0xdeadbeef},
+		{ID: 0, Rows: 1, MinEnd: 0, MaxEnd: SecondsPerDay - 1, Size: 64, Hash: 1},
+		{ID: 19500, Rows: 1000, MinEnd: 19500*SecondsPerDay + 5, MaxEnd: 19500*SecondsPerDay + 86000, Size: 1 << 20, Hash: 42},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	for _, entries := range [][]ShardInfo{nil, manifestFixture()} {
+		enc := EncodeManifest(entries)
+		dec, err := DecodeManifest(enc)
+		if err != nil {
+			t.Fatalf("decode(%d entries): %v", len(entries), err)
+		}
+		if len(dec) != len(entries) {
+			t.Fatalf("decoded %d entries, want %d", len(dec), len(entries))
+		}
+		for i := range dec {
+			if dec[i] != entries[i] {
+				t.Errorf("entry %d: %+v != %+v", i, dec[i], entries[i])
+			}
+		}
+		// The bijectivity half the fuzzer leans on: accepted bytes
+		// re-encode identically.
+		if re := EncodeManifest(dec); string(re) != string(enc) {
+			t.Error("encode(decode(m)) differs from m")
+		}
+	}
+}
+
+// reseal recomputes the trailing CRC after a deliberate corruption of
+// the body, so the test reaches the validation behind the checksum.
+func reseal(body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}
+
+func TestManifestRejectMatrix(t *testing.T) {
+	valid := EncodeManifest(manifestFixture())
+	body := append([]byte(nil), valid[:len(valid)-4]...)
+	patched := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), body...)
+		mutate(b)
+		return reseal(b)
+	}
+	day := int64(7)
+	lo := day * SecondsPerDay
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"shorter than header", valid[:manifestHeaderLen]},
+		{"truncated tail", valid[:len(valid)-5]},
+		{"flipped byte (checksum)", patchedByteFlip(valid, len(valid)/2)},
+		{"bad magic", patched(func(b []byte) { b[0] ^= 0xff })},
+		{"bad version", patched(func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 99) })},
+		{"nonzero flags", patched(func(b []byte) { binary.LittleEndian.PutUint32(b[12:], 1) })},
+		{"hostile count", patched(func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 1<<60) })},
+		{"count off by one", patched(func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 4) })},
+		{"trailing bytes", reseal(append(append([]byte(nil), body...), 0, 0, 0, 0))},
+		{"zero rows", EncodeManifest([]ShardInfo{{ID: day, Rows: 0, MinEnd: lo, MaxEnd: lo, Size: 64, Hash: 1}})},
+		{"id out of range", EncodeManifest([]ShardInfo{{ID: 1 << 41, Rows: 1, MinEnd: (1 << 41) * SecondsPerDay, MaxEnd: (1 << 41) * SecondsPerDay, Size: 64, Hash: 1}})},
+		{"rows beyond size", EncodeManifest([]ShardInfo{{ID: day, Rows: 64, MinEnd: lo, MaxEnd: lo, Size: 64, Hash: 1}})},
+		{"duplicate ids", EncodeManifest([]ShardInfo{
+			{ID: day, Rows: 1, MinEnd: lo, MaxEnd: lo, Size: 64, Hash: 1},
+			{ID: day, Rows: 1, MinEnd: lo, MaxEnd: lo, Size: 64, Hash: 1},
+		})},
+		{"descending ids", EncodeManifest([]ShardInfo{
+			{ID: day + 1, Rows: 1, MinEnd: lo + SecondsPerDay, MaxEnd: lo + SecondsPerDay, Size: 64, Hash: 1},
+			{ID: day, Rows: 1, MinEnd: lo, MaxEnd: lo, Size: 64, Hash: 1},
+		})},
+		{"minEnd before its day", EncodeManifest([]ShardInfo{{ID: day, Rows: 1, MinEnd: lo - 1, MaxEnd: lo, Size: 64, Hash: 1}})},
+		{"maxEnd past its day", EncodeManifest([]ShardInfo{{ID: day, Rows: 1, MinEnd: lo, MaxEnd: lo + SecondsPerDay, Size: 64, Hash: 1}})},
+		{"minEnd above maxEnd", EncodeManifest([]ShardInfo{{ID: day, Rows: 1, MinEnd: lo + 10, MaxEnd: lo + 5, Size: 64, Hash: 1}})},
+	}
+	for _, c := range cases {
+		if _, err := DecodeManifest(c.data); err == nil {
+			t.Errorf("%s: decode accepted corrupt manifest", c.name)
+		}
+	}
+	// The matrix used real corruptions: the pristine bytes still decode.
+	if _, err := DecodeManifest(valid); err != nil {
+		t.Fatalf("pristine manifest rejected: %v", err)
+	}
+}
+
+func patchedByteFlip(data []byte, i int) []byte {
+	b := append([]byte(nil), data...)
+	b[i] ^= 0xff
+	return b
+}
+
+// multiDayStore is floorStore grouped by end day — the shape every
+// shard test wants: a few thousand rows spanning several epoch days.
+func multiDayStore(n int) *Store {
+	st := floorStore(n)
+	st.ReorderByEndDay()
+	return st
+}
+
+func TestWriteShardDirRoundTrip(t *testing.T) {
+	st := multiDayStore(3000)
+	dir := t.TempDir()
+	// A shard from a "previous batch" whose day is gone must be cleaned
+	// up once the new manifest lands.
+	stale := filepath.Join(dir, "shard-999999.supremm")
+	if err := os.WriteFile(stale, []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteShardDir(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale shard from a previous batch survived WriteShardDir")
+	}
+
+	ss, err := LoadShardSet(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Len() != st.Len() {
+		t.Fatalf("shard set has %d rows, store has %d", ss.Len(), st.Len())
+	}
+	for i := 0; i < st.Len(); i++ {
+		if ss.Record(i) != st.Record(i) {
+			t.Fatalf("row %d: shard %+v != store %+v", i, ss.Record(i), st.Record(i))
+		}
+	}
+	if stats := ss.LoadStats(); stats.Loaded != ss.NumShards() || stats.Reused != 0 {
+		t.Errorf("cold load stats %+v, want all %d loaded", stats, ss.NumShards())
+	}
+	if ss.NumShards() < 2 {
+		t.Fatalf("fixture spans %d shards, want >= 2 for a meaningful round trip", ss.NumShards())
+	}
+	// Every shard holds exactly its own day, ascending.
+	for i := 0; i < ss.NumShards(); i++ {
+		sh := ss.ShardAt(i)
+		if i > 0 && sh.ID() <= ss.ShardAt(i-1).ID() {
+			t.Fatalf("shard ids not ascending at %d", i)
+		}
+		info := sh.Info()
+		if EpochDay(info.MinEnd) != sh.ID() || EpochDay(info.MaxEnd) != sh.ID() {
+			t.Errorf("shard %d holds ends outside its day: [%d,%d]", sh.ID(), info.MinEnd, info.MaxEnd)
+		}
+	}
+	// The atomic writer left no work files behind.
+	glob, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range glob {
+		if strings.HasPrefix(de.Name(), ".") {
+			t.Errorf("temp file %s survived the atomic writes", de.Name())
+		}
+	}
+}
+
+func TestWriteShardDirDeterministic(t *testing.T) {
+	st := multiDayStore(1500)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if err := WriteShardDir(dirA, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteShardDir(dirB, st); err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(dirA, "shard-*.supremm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names = append(names, filepath.Join(dirA, ManifestFile))
+	for _, p := range names {
+		a, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, filepath.Base(p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s: two writes of the same store differ", filepath.Base(p))
+		}
+	}
+}
+
+func TestLoadShardSetReuse(t *testing.T) {
+	st := multiDayStore(3000)
+	dir := t.TempDir()
+	if err := WriteShardDir(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	ss1, err := LoadShardSet(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewriting the unchanged store produces byte-identical shards; a
+	// reload against the previous generation decodes nothing.
+	if err := WriteShardDir(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	ss2, err := LoadShardSet(dir, ss1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := ss2.LoadStats(); stats.Reused != ss1.NumShards() || stats.Loaded != 0 {
+		t.Fatalf("unchanged reload stats %+v, want all %d reused", stats, ss1.NumShards())
+	}
+	for i := 0; i < ss2.NumShards(); i++ {
+		if ss2.ShardAt(i) != ss1.ShardAt(i) {
+			t.Fatalf("shard %d not adopted by pointer on unchanged reload", i)
+		}
+	}
+
+	// Append one new day: only that shard is decoded, history is shared.
+	st2 := New()
+	for i := 0; i < st.Len(); i++ {
+		st2.Add(st.Record(i))
+	}
+	newDay := ss1.ShardAt(ss1.NumShards()-1).ID() + 2
+	for j := 0; j < 40; j++ {
+		r := st.Record(j)
+		r.JobID = int64(900000 + j)
+		r.End = newDay*SecondsPerDay + int64(100*j+50)
+		r.Start = r.End - 3600
+		st2.Add(r)
+	}
+	st2.ReorderByEndDay()
+	if err := WriteShardDir(dir, st2); err != nil {
+		t.Fatal(err)
+	}
+	ss3, err := LoadShardSet(dir, ss2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := ss3.LoadStats(); stats.Reused != ss1.NumShards() || stats.Loaded != 1 {
+		t.Fatalf("one-day append stats %+v, want %d reused / 1 loaded", stats, ss1.NumShards())
+	}
+	for i := 0; i < ss1.NumShards(); i++ {
+		old, now := ss2.ShardAt(i), ss3.ShardAt(i)
+		if old != now {
+			t.Fatalf("unchanged shard %d re-decoded on append", old.ID())
+		}
+		// Pointer-shared columns, not copies: the same backing arrays.
+		if &old.Columns().JobID[0] != &now.Columns().JobID[0] {
+			t.Fatalf("shard %d columns copied instead of shared", old.ID())
+		}
+	}
+	if ss3.Len() != st2.Len() {
+		t.Fatalf("after append shard set has %d rows, store has %d", ss3.Len(), st2.Len())
+	}
+	for i := 0; i < st2.Len(); i++ {
+		if ss3.Record(i) != st2.Record(i) {
+			t.Fatalf("row %d diverges after incremental reload", i)
+		}
+	}
+}
+
+func TestLoadShardSetTornShard(t *testing.T) {
+	st := multiDayStore(2000)
+	dir := t.TempDir()
+	if err := WriteShardDir(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	ss1, err := LoadShardSet(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, ShardFileName(ss1.ShardAt(0).ID()))
+	good, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn to a strict prefix: the size check fires even when the
+	// previous generation holds the healthy shard in memory.
+	if err := os.WriteFile(victim, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShardSet(dir, ss1); err == nil {
+		t.Error("torn shard loaded despite healthy in-memory copy")
+	}
+	if _, err := LoadShardSet(dir, nil); err == nil {
+		t.Error("torn shard loaded cold")
+	}
+
+	// Same size, different content: the manifest hash catches it cold.
+	swapped := append([]byte(nil), good...)
+	swapped[len(swapped)/2] ^= 0xff
+	if err := os.WriteFile(victim, swapped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShardSet(dir, nil); err == nil {
+		t.Error("hash-mismatched shard loaded cold")
+	}
+
+	// Shard deleted while the manifest still lists it.
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShardSet(dir, ss1); err == nil {
+		t.Error("stale manifest (missing shard) loaded despite in-memory copy")
+	}
+}
+
+func TestShardPruneByTimeWindow(t *testing.T) {
+	st := multiDayStore(3000)
+	_, cols := st.partitionByEndDay()
+	ss := NewShardSet(cols)
+	if ss.NumShards() < 3 {
+		t.Fatalf("fixture spans %d shards, want >= 3", ss.NumShards())
+	}
+	mid := ss.ShardAt(1).Info()
+	f := Filter{Cluster: "ranger", EndAfter: mid.MinEnd, EndBefore: mid.MaxEnd + 1}
+	_, pruned := ss.selectShards(f)
+	if want := ss.NumShards() - 1; pruned != want {
+		t.Errorf("one-day window pruned %d of %d shards, want %d", pruned, ss.NumShards(), want)
+	}
+	// Pruning never changes the answer.
+	for _, m := range []Metric{MetricCPUIdle, MetricMemUsed} {
+		if got, want := ss.Aggregate(m, f), st.Aggregate(m, f); !aggBitsEqual(got, want) {
+			t.Errorf("%s: pruned aggregate diverges from monolithic", m)
+		}
+	}
+	if got, want := len(ss.Select(f)), len(st.Select(f)); got != want {
+		t.Errorf("pruned select has %d rows, monolithic %d", got, want)
+	}
+	// An impossible window prunes everything and still answers exactly.
+	none := Filter{EndAfter: (ss.ShardAt(ss.NumShards() - 1).Info().MaxEnd) + 1}
+	_, pruned = ss.selectShards(none)
+	if pruned != ss.NumShards() {
+		t.Errorf("empty window pruned %d of %d shards", pruned, ss.NumShards())
+	}
+	if got, want := ss.Aggregate(MetricCPUIdle, none), st.Aggregate(MetricCPUIdle, none); !aggBitsEqual(got, want) {
+		t.Error("all-pruned aggregate diverges from monolithic empty aggregate")
+	}
+}
+
+func TestShardSetEmptyAndSingle(t *testing.T) {
+	// Empty set: every query answers like an empty store.
+	empty := NewShardSet(nil)
+	if empty.Len() != 0 {
+		t.Fatalf("empty shard set has %d rows", empty.Len())
+	}
+	if rs := empty.Select(Filter{}); rs != nil {
+		t.Errorf("empty set selected %v", rs)
+	}
+	if g := empty.GroupBy(ByApp, []Metric{MetricCPUIdle}, Filter{}); len(g) != 0 {
+		t.Errorf("empty set grouped %d buckets", len(g))
+	}
+	emptyAgg := New().Aggregate(MetricCPUIdle, Filter{})
+	if got := empty.Aggregate(MetricCPUIdle, Filter{}); !aggBitsEqual(got, emptyAgg) {
+		t.Error("empty shard set aggregate differs from empty store aggregate")
+	}
+
+	// Single shard: the degenerate split is exactly the monolith.
+	st := equivStore(700)
+	one := NewShardSet([]*Columns{st.Columns()})
+	for _, f := range equivFilters {
+		for _, m := range []Metric{MetricCPUIdle, MetricFlops} {
+			if got, want := one.Aggregate(m, f), st.Aggregate(m, f); !aggBitsEqual(got, want) {
+				t.Fatalf("single-shard aggregate diverges (%s, %+v)", m, f)
+			}
+		}
+	}
+}
