@@ -1,9 +1,9 @@
 # Convenience targets for the SUPReMM reproduction.
 GO ?= go
 
-.PHONY: all build test test-race vet lint lint-fast fuzz-smoke test-faults test-chaos test-serve test-store test-shards bench bench-ingest bench-serve bench-store figures dashboard clean
+.PHONY: all build test test-race vet lint lint-fast fuzz-smoke test-faults test-chaos test-serve test-store test-shards test-scrub bench bench-ingest bench-serve bench-store figures dashboard clean
 
-all: build vet lint test test-race test-chaos test-shards
+all: build vet lint test test-race test-chaos test-shards test-scrub
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzColumnsDecode -fuzztime 10s ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzManifestDecode -fuzztime 10s ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzReloadCorrupt -fuzztime 10s ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzQuarantineRecord -fuzztime 10s ./internal/store
 
 # Fault-injection differential suite under the race detector: corrupted
 # hosts quarantine, untouched jobs stay bit-identical, sequential and
@@ -86,6 +87,15 @@ test-store:
 # and the golden two-day incremental run (ISSUE 9, DESIGN.md §14).
 test-shards:
 	$(GO) test -race -run 'Shard|Manifest|Incremental|EpochDay|ServeChaos|IngestCommandEndToEnd' \
+		./internal/store ./internal/serve ./internal/faultinject ./cmd/ingest
+
+# Self-healing shard suite under the race detector: scrubber budget and
+# sweep accounting, quarantine log round-trip/reject matrix, repair
+# byte-identity against the manifest, degraded-vs-healthy differential
+# serving, the coverage floor, ingest leftover cleanup, and the
+# self-heal chaos acceptance proof (ISSUE 10, DESIGN.md §15).
+test-scrub:
+	$(GO) test -race -run 'Scrub|Quarantine|Repair|Degraded|Heal|Coverage|VerifyShard|CleansHealing|BitRot|Rot' \
 		./internal/store ./internal/serve ./internal/faultinject ./cmd/ingest
 
 test:

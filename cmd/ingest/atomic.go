@@ -2,47 +2,17 @@ package main
 
 import (
 	"os"
-	"path/filepath"
+
+	"supremm/internal/store"
 )
 
-// writeFileAtomic writes dir/name via a temp file in the same
-// directory: write, fsync, close, rename. Readers — most importantly
-// supremmd's poll-reload — therefore never observe a half-written
-// output; they see either the previous complete file or the new one.
-// The torn-snapshot fault in internal/faultinject simulates the legacy
-// writers that rewrote in place, which this path retires.
-//
-// On any failure the target file is left untouched and the temp file
-// is removed.
+// writeFileAtomic writes dir/name via temp + fsync + rename + parent
+// directory fsync, delegated to store.AtomicWriteFile so every writer
+// in the system — ingest outputs, shard files, the manifest, the
+// quarantine log — lands files with identical crash-durability
+// semantics. Readers (most importantly supremmd's poll-reload) never
+// observe a half-written output, and a crash immediately after the
+// rename cannot roll the directory entry back to the old file.
 func writeFileAtomic(dir, name string, write func(f *os.File) error) error {
-	f, err := os.CreateTemp(dir, "."+name+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if err := write(f); err != nil {
-		_ = f.Close() // write error wins
-		_ = os.Remove(tmp)
-		return err
-	}
-	// Sync before rename: a crash after the rename must not leave the
-	// new name pointing at data the kernel never flushed.
-	if err := f.Sync(); err != nil {
-		_ = f.Close() // sync error wins
-		_ = os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
-		return err
-	}
-	if err := os.Chmod(tmp, 0o644); err != nil {
-		_ = os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		_ = os.Remove(tmp)
-		return err
-	}
-	return nil
+	return store.AtomicWriteFile(dir, name, write)
 }

@@ -162,6 +162,59 @@ func TestIngestCommandPolicies(t *testing.T) {
 	}
 }
 
+// TestIngestCleansHealingLeftovers: a fresh ingest batch supersedes
+// whatever self-healing state (and writer debris) the previous
+// generation accumulated in the output directory — stale day shards,
+// quarantined shard evidence, the quarantine log, and orphaned temp
+// files from a killed writer must all be gone after the run.
+func TestIngestCleansHealingLeftovers(t *testing.T) {
+	work := t.TempDir()
+	rawDir := filepath.Join(work, "raw")
+	hostDir := filepath.Join(rawDir, "h1")
+	if err := os.MkdirAll(hostDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw := "$tacc_stats 2.0\n!cpu user,E idle,E\n1000\ncpu 0 1 9\n1600\ncpu 0 5 18\n"
+	if err := os.WriteFile(filepath.Join(hostDir, "1.raw"), []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	acctPath := filepath.Join(work, "accounting.log")
+	af, err := os.Create(acctPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.WriteAcct(af, nil); err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+
+	out := filepath.Join(work, "out")
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	leftovers := []string{
+		store.ShardFileName(12345),                          // stale day from a dead generation
+		store.QuarantinedShardFile(12345),                   // quarantined evidence
+		store.QuarantineFile,                                // its custody log
+		".jobs.jsonl.tmp1234567", ".shard-3.supremm.tmp88", // killed-writer debris
+	}
+	for _, name := range leftovers {
+		if err := os.WriteFile(filepath.Join(out, name), []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := run(rawDir, acctPath, out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range leftovers {
+		if _, err := os.Stat(filepath.Join(out, name)); !os.IsNotExist(err) {
+			t.Errorf("leftover %s survived the batch (stat err %v)", name, err)
+		}
+	}
+	assertNoTempFiles(t, out)
+}
+
 func TestIngestCommandErrors(t *testing.T) {
 	if err := run("/nonexistent", "/nonexistent", t.TempDir()); err == nil {
 		t.Error("missing inputs should error")

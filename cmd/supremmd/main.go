@@ -13,6 +13,15 @@
 // and a circuit breaker keeps the last-good snapshot served while the
 // data directory is torn. SIGINT/SIGTERM shed the queue and drain
 // in-flight requests before exit.
+//
+// With -self-heal (the default, DESIGN.md §15) the daemon also scrubs
+// its shards in the background on a -scrub-budget byte budget per poll
+// tick, quarantines any shard whose bytes no longer match the manifest,
+// repairs it from the monolithic backing when possible, and otherwise
+// serves the healthy days degraded — with coverage reported on
+// /healthz, /readyz, /metrics and an X-Supremm-Coverage header on every
+// response. -degraded-min-coverage sets a floor below which data
+// queries are refused outright.
 package main
 
 import (
@@ -48,6 +57,10 @@ type options struct {
 	breakerThreshold int           // reload failures that open the breaker
 	breakerBackoff   int           // breaker cooldown in poll ticks
 
+	selfHeal    bool    // scrub/quarantine/repair + degraded serving
+	scrubBudget int64   // scrubber bytes per poll tick, negative = full sweep
+	minCoverage float64 // coverage floor for data queries, 0 = serve at any
+
 	// ready receives the bound address once the listener is up.
 	ready func(addr string)
 	// hooks are passed through to serve.Config (tests).
@@ -69,6 +82,9 @@ func main() {
 	flag.IntVar(&opts.retryAfter, "retry-after", 1, "Retry-After seconds on shed/timed-out responses")
 	flag.IntVar(&opts.breakerThreshold, "breaker-threshold", 3, "consecutive reload failures that open the snapshot-reload breaker")
 	flag.IntVar(&opts.breakerBackoff, "breaker-backoff", 2, "breaker cooldown in poll ticks (doubles per failed probe)")
+	flag.BoolVar(&opts.selfHeal, "self-heal", true, "scrub shards in the background, quarantine+repair damage, serve degraded with coverage accounting")
+	flag.Int64Var(&opts.scrubBudget, "scrub-budget", 0, "shard bytes the scrubber re-verifies per poll tick (0 = default 4 MiB, negative = full sweep every tick)")
+	flag.Float64Var(&opts.minCoverage, "degraded-min-coverage", 0, "refuse data queries (503 + missing day ranges) when degraded coverage is below this fraction (0 = serve at any coverage)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -96,6 +112,9 @@ func run(ctx context.Context, opts options) error {
 		RetryAfterSec:       opts.retryAfter,
 		BreakerThreshold:    opts.breakerThreshold,
 		BreakerBackoffPolls: opts.breakerBackoff,
+		SelfHeal:            opts.selfHeal,
+		ScrubBudgetBytes:    opts.scrubBudget,
+		MinCoverage:         opts.minCoverage,
 		Hooks:               opts.hooks,
 	})
 	if err != nil {
@@ -104,6 +123,10 @@ func run(ctx context.Context, opts options) error {
 	snap := srv.Snapshot()
 	fmt.Fprintf(os.Stderr, "supremmd: serving %s (%d jobs, cluster %s, generation %d, %s source, %d shards) on %s\n",
 		opts.data, snap.Realm.Store.Len(), snap.Realm.Cluster, snap.Gen, snap.Source, snap.Shards, opts.addr)
+	if cov := snap.Coverage; cov.Degraded {
+		fmt.Fprintf(os.Stderr, "supremmd: DEGRADED generation %d: serving %d of %d rows (coverage %.4f), %d shard(s) quarantined — see %s/QUARANTINE.supremm\n",
+			snap.Gen, cov.RowsServed, cov.RowsTotal, cov.Ratio, cov.MissingShards, opts.data)
+	}
 
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
@@ -134,6 +157,10 @@ func run(ctx context.Context, opts options) error {
 						s := srv.Snapshot()
 						fmt.Fprintf(os.Stderr, "supremmd: reloaded %s (%d jobs, generation %d, %d/%d shards reused)\n",
 							opts.data, s.Realm.Store.Len(), s.Gen, s.ShardsReused, s.Shards)
+						if cov := s.Coverage; cov.Degraded {
+							fmt.Fprintf(os.Stderr, "supremmd: DEGRADED generation %d: serving %d of %d rows (coverage %.4f), %d shard(s) quarantined — see %s/%s\n",
+								s.Gen, cov.RowsServed, cov.RowsTotal, cov.Ratio, cov.MissingShards, opts.data, "QUARANTINE.supremm")
+						}
 					}
 				}
 			}

@@ -129,11 +129,15 @@ func Analyzers() []Scoped {
 			// with EMFILE long after the faulty commit landed.
 			// faultinject joined when it grew the serve-layer chaos
 			// drivers: its heal/tear paths open and rename files in loops.
+			// internal/store joined with the self-healing pipeline: the
+			// scrubber re-opens every shard each sweep, and the
+			// quarantine/repair/atomic-write paths open files and
+			// directory handles on the reload hot path.
 			Analyzer: deferclose.Analyzer,
 			PkgMatch: func(pkgPath string) bool {
 				switch pkgPath {
 				case "supremm/internal/serve", "supremm/internal/ingest",
-					"supremm/internal/faultinject":
+					"supremm/internal/faultinject", "supremm/internal/store":
 					return true
 				}
 				return strings.HasPrefix(pkgPath, "supremm/cmd/")

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -46,12 +47,19 @@ const (
 	// generation keeps serving, /readyz goes not-ready once the breaker
 	// opens.
 	KindStaleManifest Kind = "stale-manifest"
+	// KindBitRot flips bytes inside a committed shard file without
+	// changing its size — and with its mtime restored afterwards, so the
+	// poll fingerprint (size + mtime) is unchanged and no reload fires.
+	// Silent media corruption: only re-reading the bytes and checking
+	// them against the manifest hash (the scrubber) can catch it, after
+	// which the daemon must quarantine the day and serve degraded.
+	KindBitRot Kind = "bit-rot"
 )
 
 // ServeKinds lists the serve-layer fault classes.
 func ServeKinds() []Kind {
 	return []Kind{KindTornSnapshot, KindSlowRead, KindReloadStorm, KindSlowClient,
-		KindTornShard, KindStaleManifest}
+		KindTornShard, KindStaleManifest, KindBitRot}
 }
 
 // TornWrite overwrites path in place with the first frac of data, no
@@ -180,6 +188,74 @@ func (c *ServeChaos) TearShard() (string, float64, error) {
 	return name, frac, TornWrite(filepath.Join(c.dir, name), c.good[name], frac)
 }
 
+// Rot flips bytes in one shard file (seeded pick, seeded positions,
+// seeded masks) without changing its size, then restores the file's
+// mtime so the directory fingerprint cannot see the damage. Returns
+// the victim file name and how many bytes were flipped (at least one,
+// each xored with a non-zero mask, so the content — and its CRC32,
+// which detects all single-byte errors — always differs from the
+// known-good bytes).
+func (c *ServeChaos) Rot() (string, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := c.shardNames()
+	if len(names) == 0 {
+		return "", 0, fmt.Errorf("faultinject: no known-good shard files")
+	}
+	name := names[c.rng.Intn(len(names))]
+	flips := 1 + c.rng.Intn(4)
+	if err := c.rotLocked(name, flips); err != nil {
+		return "", 0, err
+	}
+	return name, flips, nil
+}
+
+// RotFile is Rot with the victim chosen by the caller — chaos tests
+// that need a specific day damaged use this; positions and masks stay
+// seeded.
+func (c *ServeChaos) RotFile(name string, flips int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.good[name]; !ok {
+		return fmt.Errorf("faultinject: no known-good %s", name)
+	}
+	return c.rotLocked(name, flips)
+}
+
+func (c *ServeChaos) rotLocked(name string, flips int) error {
+	if flips < 1 {
+		flips = 1
+	}
+	path := filepath.Join(c.dir, name)
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	data := append([]byte(nil), c.good[name]...)
+	if len(data) == 0 {
+		return fmt.Errorf("faultinject: %s is empty, nothing to rot", name)
+	}
+	for i := 0; i < flips; i++ {
+		pos := c.rng.Intn(len(data))
+		data[pos] ^= byte(1 + c.rng.Intn(255)) // non-zero mask: the byte changes
+	}
+	if bytes.Equal(data, c.good[name]) {
+		// Two seeded flips can land on one byte and cancel; the fault
+		// must actually corrupt.
+		data[0] ^= 0x01
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	// Put the mtime back: rot is silent, the fingerprint must not
+	// notice. (Writing the same byte count keeps the size unchanged.)
+	if err := os.Chtimes(path, st.ModTime(), st.ModTime()); err != nil {
+		return err
+	}
+	c.counts[KindBitRot]++
+	return nil
+}
+
 // StaleManifest deletes one shard file (seeded pick) while the
 // manifest keeps listing it, returning the victim file name.
 func (c *ServeChaos) StaleManifest() (string, error) {
@@ -227,6 +303,25 @@ func (c *ServeChaos) Heal() error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	return c.healLocked(names)
+}
+
+// HealFiles atomically restores only the named known-good files —
+// self-heal chaos scenarios use it to give the daemon back a usable
+// monolithic backing (jobs.supremm) while leaving a rotted shard for
+// the daemon's own repair path to rebuild.
+func (c *ServeChaos) HealFiles(names ...string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, name := range names {
+		if _, ok := c.good[name]; !ok {
+			return fmt.Errorf("faultinject: no known-good %s", name)
+		}
+	}
+	return c.healLocked(names)
+}
+
+func (c *ServeChaos) healLocked(names []string) error {
 	for _, name := range names {
 		dst := filepath.Join(c.dir, name)
 		tmp, err := os.CreateTemp(c.dir, "."+name+".heal*")

@@ -161,7 +161,7 @@ func TestServeChaosTearHeal(t *testing.T) {
 
 func TestServeKinds(t *testing.T) {
 	kinds := ServeKinds()
-	if len(kinds) != 6 {
+	if len(kinds) != 7 {
 		t.Fatalf("ServeKinds() = %v", kinds)
 	}
 	seen := map[Kind]bool{}
@@ -169,7 +169,7 @@ func TestServeKinds(t *testing.T) {
 		seen[k] = true
 	}
 	for _, k := range []Kind{KindTornSnapshot, KindSlowRead, KindReloadStorm, KindSlowClient,
-		KindTornShard, KindStaleManifest} {
+		KindTornShard, KindStaleManifest, KindBitRot} {
 		if !seen[k] {
 			t.Errorf("missing kind %s", k)
 		}

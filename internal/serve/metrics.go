@@ -48,6 +48,16 @@ type Metrics struct {
 	cancelled        atomic.Int64
 	deadlineTimeouts atomic.Int64
 	panics           atomic.Int64
+
+	// Self-heal accounting (DESIGN.md §15): scrubSweeps counts full
+	// verification passes over the shard set, shardsScrubbed individual
+	// shard re-verifications, quarantines shards moved aside after
+	// failing verification, repairs shards rebuilt byte-identically from
+	// the monolithic backing.
+	scrubSweeps    atomic.Int64
+	shardsScrubbed atomic.Int64
+	quarantines    atomic.Int64
+	repairs        atomic.Int64
 }
 
 func newMetrics() *Metrics {
@@ -117,6 +127,12 @@ type metricsDTO struct {
 	Cancelled       int64            `json:"cancelled"`
 	DeadlineTimeout int64            `json:"deadline_timeouts"`
 	PanicsRecovered int64            `json:"panics_recovered"`
+	ScrubSweeps     int64            `json:"scrub_sweeps"`
+	ShardsScrubbed  int64            `json:"shards_scrubbed"`
+	Quarantines     int64            `json:"quarantines"`
+	Repairs         int64            `json:"repairs"`
+	CoverageRatio   F                `json:"coverage_ratio"`
+	Degraded        bool             `json:"degraded"`
 	Admission       admissionDTO     `json:"admission"`
 	Breaker         breakerDTO       `json:"breaker"`
 	Latency         latencyDTO       `json:"latency"`
@@ -136,7 +152,7 @@ type latencyBucket struct {
 
 // snapshotDTO renders the current counter values, folding in the
 // admission valve's gauges and the breaker's state.
-func (m *Metrics) snapshotDTO(gen uint64, jobs int, cache *Cache, adm *admission, brk *breaker) metricsDTO {
+func (m *Metrics) snapshotDTO(gen uint64, jobs int, cache *Cache, adm *admission, brk *breaker, cov Coverage) metricsDTO {
 	hits, misses := cache.Stats()
 	dto := metricsDTO{
 		StoreGeneration: gen,
@@ -156,6 +172,12 @@ func (m *Metrics) snapshotDTO(gen uint64, jobs int, cache *Cache, adm *admission
 		Cancelled:       m.cancelled.Load(),
 		DeadlineTimeout: m.deadlineTimeouts.Load(),
 		PanicsRecovered: m.panics.Load(),
+		ScrubSweeps:     m.scrubSweeps.Load(),
+		ShardsScrubbed:  m.shardsScrubbed.Load(),
+		Quarantines:     m.quarantines.Load(),
+		Repairs:         m.repairs.Load(),
+		CoverageRatio:   F(cov.Ratio),
+		Degraded:        cov.Degraded,
 		Admission:       adm.dto(),
 		Breaker:         brk.dto(),
 	}

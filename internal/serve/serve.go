@@ -74,12 +74,30 @@ type Config struct {
 	Open func(path string) (io.ReadCloser, error)
 	// Hooks are chaos/test instrumentation; see Hooks.
 	Hooks Hooks
+
+	// SelfHeal enables the self-healing shard pipeline (DESIGN.md §15):
+	// background scrubbing, quarantine + repair of damaged shards, and
+	// degraded-mode serving with coverage accounting instead of failing
+	// reloads wholesale. Off (the zero value) preserves the strict
+	// all-or-nothing reload policy.
+	SelfHeal bool
+	// ScrubBudgetBytes bounds the shard bytes the scrubber re-reads per
+	// poll tick; 0 means the default (4 MiB), negative scrubs the whole
+	// set every tick (tests). Ignored unless SelfHeal is on.
+	ScrubBudgetBytes int64
+	// MinCoverage is the coverage floor for data queries: a degraded
+	// snapshot covering less than this fraction of the manifest's rows
+	// answers data queries 503 (with Retry-After and the missing day
+	// ranges) instead of serving misleadingly partial results. 0 serves
+	// at any coverage. Ops endpoints always answer.
+	MinCoverage float64
 }
 
 const (
 	defaultCacheSize   = 1024
 	defaultMaxInFlight = 64
 	defaultRetryAfter  = 1
+	defaultScrubBudget = 4 << 20
 )
 
 // Server is the query daemon: an http.Handler over the current
@@ -101,6 +119,13 @@ type Server struct {
 	brk          *breaker
 	retryAfter   int
 	open         func(path string) (io.ReadCloser, error)
+
+	// Self-heal state (nil/zero unless Config.SelfHeal): the scrubber
+	// cursor over the served generation's shards and its budget.
+	scrubBudget int64
+	scrubMu     sync.Mutex
+	scrubber    *store.Scrubber
+	scrubGen    uint64
 
 	// reloadMu serializes snapshot loads; queries never take it.
 	reloadMu sync.Mutex
@@ -141,13 +166,38 @@ func New(cfg Config) (*Server, error) {
 	if s.open == nil {
 		s.open = osOpen
 	}
-	snap, err := loadSnapshot(cfg.DataDir, s.lastGen.Add(1), cfg.RetryMax, cfg.Backoff, s.open, nil)
+	if cfg.SelfHeal {
+		s.scrubBudget = cfg.ScrubBudgetBytes
+		if s.scrubBudget == 0 {
+			s.scrubBudget = defaultScrubBudget
+		}
+	}
+	snap, err := loadSnapshotHeal(cfg.DataDir, s.lastGen.Add(1), cfg.RetryMax, cfg.Backoff, s.open, nil, s.newHealLoad())
 	if err != nil {
 		return nil, err
 	}
+	s.noteHeal(snap)
 	s.snap.Store(snap)
 	s.routes()
 	return s, nil
+}
+
+// newHealLoad builds the per-load heal context, nil when self-healing
+// is off (strict legacy loading).
+func (s *Server) newHealLoad() *healLoad {
+	if !s.cfg.SelfHeal {
+		return nil
+	}
+	return &healLoad{now: s.nowUnix()}
+}
+
+// noteHeal folds a completed healing load's outcome into the metrics.
+func (s *Server) noteHeal(snap *Snapshot) {
+	if snap.heal == nil {
+		return
+	}
+	s.met.quarantines.Add(int64(snap.heal.outcome.quarantines))
+	s.met.repairs.Add(int64(snap.heal.outcome.repairs))
 }
 
 // BeginDrain puts the daemon into shed-aware shutdown: every queued
@@ -175,12 +225,13 @@ func (s *Server) Reload() (*Snapshot, error) {
 	defer s.reloadMu.Unlock()
 	// The current snapshot seeds incremental shard reuse: unchanged
 	// shards are shared by pointer with the generation still serving.
-	snap, err := loadSnapshot(s.cfg.DataDir, s.lastGen.Add(1), s.cfg.RetryMax, s.cfg.Backoff, s.open, s.snap.Load())
+	snap, err := loadSnapshotHeal(s.cfg.DataDir, s.lastGen.Add(1), s.cfg.RetryMax, s.cfg.Backoff, s.open, s.snap.Load(), s.newHealLoad())
 	if err != nil {
 		s.met.reloadErrors.Add(1)
 		s.brk.onFailure()
 		return nil, err
 	}
+	s.noteHeal(snap)
 	s.brk.onSuccess()
 	old := s.snap.Swap(snap)
 	s.met.reloads.Add(1)
@@ -197,6 +248,12 @@ func (s *Server) Reload() (*Snapshot, error) {
 // and a half-open probe is due; the daemon keeps serving the last-good
 // snapshot throughout.
 func (s *Server) MaybeReload() (bool, error) {
+	if s.cfg.SelfHeal {
+		// The scrub tick runs before the fingerprint check: a quarantine
+		// it performs renames a shard file, which changes the fingerprint
+		// and flows into a (degraded or repaired) reload this same tick.
+		s.scrubTick()
+	}
 	if DirFingerprint(s.cfg.DataDir) == s.snap.Load().Fingerprint {
 		return false, nil
 	}
@@ -302,6 +359,9 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, path string
 		return s.writeError(w, http.StatusBadRequest, err)
 	}
 	snap := s.snap.Load()
+	if s.cfg.MinCoverage > 0 && snap.Coverage.Degraded && snap.Coverage.Ratio < s.cfg.MinCoverage {
+		return s.writeBelowCoverage(w, snap)
+	}
 	key := cacheKey(snap.Gen, path, q.Encode())
 	if e, ok := s.cache.Get(key); ok {
 		return s.writeBody(w, http.StatusOK, e.contentType, e.body)
@@ -347,6 +407,11 @@ func marshalBody(v any) ([]byte, error) {
 
 func (s *Server) writeBody(w http.ResponseWriter, status int, contentType string, body []byte) int {
 	w.Header().Set("Content-Type", contentType)
+	// Every response carries the served snapshot's coverage ratio, so a
+	// client can always tell whether its answer came from a degraded
+	// store — even a cached or error response.
+	w.Header().Set("X-Supremm-Coverage",
+		strconv.FormatFloat(s.snap.Load().Coverage.Ratio, 'g', 6, 64))
 	w.WriteHeader(status)
 	if _, err := w.Write(body); err != nil {
 		// The client went away mid-response; nothing can be sent to it,
@@ -362,6 +427,24 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) int {
 		body = []byte(`{"error":"internal error"}` + "\n")
 	}
 	return s.writeBody(w, status, "application/json", body)
+}
+
+// writeBelowCoverage refuses a data query because the degraded
+// snapshot covers less of the manifest than Config.MinCoverage allows:
+// 503 with Retry-After (a repair may restore coverage on any poll
+// tick) and a body naming exactly which day ranges are missing, so the
+// caller knows what a partial answer would have silently dropped.
+func (s *Server) writeBelowCoverage(w http.ResponseWriter, snap *Snapshot) int {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+	body, err := marshalBody(map[string]any{
+		"error": fmt.Sprintf("degraded coverage %.6g is below the serving floor %.6g",
+			snap.Coverage.Ratio, s.cfg.MinCoverage),
+		"coverage": snap.Coverage,
+	})
+	if err != nil {
+		return s.writeError(w, http.StatusInternalServerError, err)
+	}
+	return s.writeBody(w, http.StatusServiceUnavailable, "application/json", body)
 }
 
 // ---- endpoint handlers ----
@@ -389,7 +472,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) int {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	snap := s.snap.Load()
-	body, err := marshalBody(s.met.snapshotDTO(snap.Gen, snap.Realm.Store.Len(), s.cache, s.adm, s.brk))
+	body, err := marshalBody(s.met.snapshotDTO(snap.Gen, snap.Realm.Store.Len(), s.cache, s.adm, s.brk, snap.Coverage))
 	if err != nil {
 		return s.writeError(w, http.StatusInternalServerError, err)
 	}
@@ -406,6 +489,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 		"status":     "live",
 		"generation": snap.Gen,
 		"jobs":       snap.Realm.Store.Len(),
+		"coverage":   snap.Coverage,
 	})
 	if err != nil {
 		return s.writeError(w, http.StatusInternalServerError, err)
@@ -413,24 +497,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	return s.writeBody(w, http.StatusOK, "application/json", body)
 }
 
-// handleReadyz is the readiness probe: 503 (with Retry-After) while
-// the reload breaker is open — the daemon still serves the last-good
-// generation, but balancers should prefer replicas with fresh data —
-// and 200 otherwise.
+// handleReadyz is the readiness probe, now three-state:
+//
+//   - "down" (503 + Retry-After): the reload breaker is open — the
+//     daemon still serves the last-good generation, but balancers
+//     should prefer replicas with fresh data — or self-healing is on
+//     with a coverage floor and the snapshot is below it (data queries
+//     are being refused, so the replica is not useful);
+//   - "degraded" (200, with the coverage block saying exactly what is
+//     missing): serving, but from a partial shard set — balancers may
+//     keep routing here, operators should look at the quarantine;
+//   - "ready" (200): full coverage, breaker closed.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) int {
 	snap := s.snap.Load()
 	brk := s.brk.dto()
-	ready := brk.State != breakerOpen.String()
+	status := "ready"
+	switch {
+	case brk.State == breakerOpen.String():
+		status = "down"
+	case s.cfg.MinCoverage > 0 && snap.Coverage.Degraded && snap.Coverage.Ratio < s.cfg.MinCoverage:
+		status = "down"
+	case snap.Coverage.Degraded:
+		status = "degraded"
+	}
 	body, err := marshalBody(map[string]any{
-		"ready":                ready,
+		"ready":                status != "down",
+		"status":               status,
 		"breaker":              brk.State,
 		"consecutive_failures": brk.ConsecutiveFailures,
 		"generation":           snap.Gen,
+		"coverage":             snap.Coverage,
 	})
 	if err != nil {
 		return s.writeError(w, http.StatusInternalServerError, err)
 	}
-	if !ready {
+	if status == "down" {
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
 		return s.writeBody(w, http.StatusServiceUnavailable, "application/json", body)
 	}

@@ -41,6 +41,13 @@ type Snapshot struct {
 	// monolithic sources).
 	Shards       int
 	ShardsReused int
+	// Coverage is the snapshot's honesty accounting (DESIGN.md §15):
+	// rows served versus rows the manifest promised, with the missing
+	// day ranges. Ratio 1 for monolithic and fully-healthy loads.
+	Coverage Coverage
+	// heal records what the healing load did (quarantines, repairs) for
+	// the server's metrics; nil for strict loads.
+	heal *healLoad
 }
 
 // snapshotFiles are the fixed-name data-directory members whose change
@@ -94,12 +101,22 @@ func LoadRealm(dir string) (*core.Realm, error) {
 // written by the same ingest batch, so a damaged manifest or shard
 // alongside readable fallbacks means the directory is torn and the
 // load should retry, not silently serve another file.
-func loadStore(dir string, open func(path string) (io.ReadCloser, error), prev *store.ShardSet) (store.Reader, string, error) {
+func loadStore(dir string, open func(path string) (io.ReadCloser, error), prev *store.ShardSet, heal *healLoad) (store.Reader, string, error) {
 	mdata, err := readManifest(dir, open)
 	if err == nil {
 		entries, err := store.DecodeManifest(mdata)
 		if err != nil {
 			return nil, "", fmt.Errorf("serve: %s: %w", store.ManifestFile, err)
+		}
+		if heal != nil {
+			// Self-heal path: per-shard fault isolation with quarantine and
+			// repair instead of all-or-nothing (see heal.go).
+			heal.entries = entries
+			ss, err := healShardLoad(dir, entries, prev, store.Opener(open), heal)
+			if err != nil {
+				return nil, "", err
+			}
+			return ss, SourceShards, nil
 		}
 		ss, err := store.LoadShards(dir, entries, prev, store.Opener(open))
 		if err != nil {
@@ -162,14 +179,15 @@ const (
 // LoadRealmSource is LoadRealm plus the job-store source label
 // (SourceShards, SourceBinary or SourceJSONL).
 func LoadRealmSource(dir string) (*core.Realm, string, error) {
-	return loadRealmSource(dir, osOpen, nil)
+	return loadRealmSource(dir, osOpen, nil, nil)
 }
 
-// loadRealmSource is LoadRealmSource with the file opener and the
-// previous generation's shard set injected — the daemon's snapshot
-// loads route through Config.Open and incremental shard reuse here.
-func loadRealmSource(dir string, open func(path string) (io.ReadCloser, error), prev *store.ShardSet) (*core.Realm, string, error) {
-	st, source, err := loadStore(dir, open, prev)
+// loadRealmSource is LoadRealmSource with the file opener, the
+// previous generation's shard set, and the self-heal context injected
+// — the daemon's snapshot loads route through Config.Open, incremental
+// shard reuse, and (when enabled) quarantine/repair here.
+func loadRealmSource(dir string, open func(path string) (io.ReadCloser, error), prev *store.ShardSet, heal *healLoad) (*core.Realm, string, error) {
+	st, source, err := loadStore(dir, open, prev, heal)
 	if err != nil {
 		return nil, "", err
 	}
@@ -228,6 +246,13 @@ func LoadQuality(dir string) (*ingest.DataQuality, error) {
 // snapshot's set are adopted by pointer instead of re-decoded, making
 // a one-day append reload O(1 day) instead of O(history).
 func loadSnapshot(dir string, gen uint64, retryMax int, backoff func(attempt int), open func(path string) (io.ReadCloser, error), prev *Snapshot) (*Snapshot, error) {
+	return loadSnapshotHeal(dir, gen, retryMax, backoff, open, prev, nil)
+}
+
+// loadSnapshotHeal is loadSnapshot with an optional self-heal context:
+// non-nil heal routes the shard load through quarantine/repair and
+// fills the snapshot's coverage accounting from what survived.
+func loadSnapshotHeal(dir string, gen uint64, retryMax int, backoff func(attempt int), open func(path string) (io.ReadCloser, error), prev *Snapshot, heal *healLoad) (*Snapshot, error) {
 	var prevShards *store.ShardSet
 	if prev != nil {
 		if ss, ok := prev.Realm.Store.(*store.ShardSet); ok {
@@ -239,8 +264,11 @@ func loadSnapshot(dir string, gen uint64, retryMax int, backoff func(attempt int
 		if attempt > 0 && backoff != nil {
 			backoff(attempt)
 		}
+		if heal != nil {
+			heal.outcome = healOutcome{} // a retry is a fresh heal attempt
+		}
 		fp := DirFingerprint(dir)
-		realm, source, err := loadRealmSource(dir, open, prevShards)
+		realm, source, err := loadRealmSource(dir, open, prevShards, heal)
 		if err != nil {
 			lastErr = err
 			continue
@@ -250,21 +278,34 @@ func loadSnapshot(dir string, gen uint64, retryMax int, backoff func(attempt int
 			lastErr = err
 			continue
 		}
-		if DirFingerprint(dir) != fp {
-			// The directory changed mid-load; what we read may mix
-			// batches. Treat as transient and retry.
-			lastErr = fmt.Errorf("serve: %s changed during load", dir)
-			continue
+		if post := DirFingerprint(dir); post != fp {
+			if heal == nil || !heal.outcome.mutated {
+				// The directory changed mid-load; what we read may mix
+				// batches. Treat as transient and retry.
+				lastErr = fmt.Errorf("serve: %s changed during load", dir)
+				continue
+			}
+			// The healing load itself moved files (quarantine renames,
+			// repair rewrites); adopt the post-heal fingerprint so the
+			// poll loop does not re-fire on our own mutations. A racing
+			// ingest writer is still caught: its next file lands after
+			// this stat pass and changes the fingerprint again.
+			fp = post
 		}
 		// Indexing skips shards adopted from prev (they already carry
 		// their postings), so an incremental reload indexes only the new
 		// day's rows.
 		realm.Store.BuildIndex()
-		snap := &Snapshot{Gen: gen, Realm: realm, Quality: quality, Fingerprint: fp, Source: source}
+		snap := &Snapshot{Gen: gen, Realm: realm, Quality: quality, Fingerprint: fp, Source: source, heal: heal}
 		if ss, ok := realm.Store.(*store.ShardSet); ok {
 			stats := ss.LoadStats()
 			snap.Shards = ss.NumShards()
 			snap.ShardsReused = stats.Reused
+		}
+		if heal != nil && source == SourceShards {
+			snap.Coverage = coverageFrom(heal.entries, heal.outcome.faults)
+		} else {
+			snap.Coverage = fullCoverage(realm.Store.Len())
 		}
 		return snap, nil
 	}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// Degraded shard loading (DESIGN.md §15).
+//
+// LoadShards is all-or-nothing: one damaged shard fails the whole
+// reload, which is the right default for a data directory that is
+// supposed to be a consistent batch. Under self-healing the policy
+// inverts — one rotted day must not take 364 healthy days off the air
+// — so LoadShardsDegraded loads what it can, reports what it could
+// not, and lets the serve layer quarantine/repair the faults and
+// publish the healthy remainder with honest coverage accounting.
+
+// ShardFault is one manifest entry that could not be served: the entry
+// and the load or verification error that disqualified it.
+type ShardFault struct {
+	Info ShardInfo
+	Err  error
+}
+
+// LoadShardsDegraded is LoadShards with per-shard fault isolation: a
+// shard that fails to load becomes a ShardFault instead of failing the
+// set, and the returned set holds only the healthy shards (in manifest
+// order, so the global row order is the healthy subsequence of the
+// full order). Reuse against prev works exactly as in LoadShards.
+// len(faults) == 0 is the fully-healthy case and the set is then
+// identical to what LoadShards would have produced.
+func LoadShardsDegraded(dir string, entries []ShardInfo, prev *ShardSet, open Opener) (*ShardSet, []ShardFault) {
+	if open == nil {
+		open = defaultOpener
+	}
+	shards := make([]*Shard, len(entries))
+	var work []int
+	for i, e := range entries {
+		if prev != nil {
+			if sh := prev.shardByID(e.ID); sh != nil && sh.info == e {
+				// Same stat guard as LoadShards: the in-memory copy is only
+				// trusted while the on-disk file still plausibly matches the
+				// manifest, so a quarantine rename (file gone) forces this
+				// entry down the load path and into the faults.
+				if st, err := os.Stat(filepath.Join(dir, ShardFileName(e.ID))); err == nil && st.Size() == e.Size {
+					shards[i] = sh
+					continue
+				}
+			}
+		}
+		work = append(work, i)
+	}
+	errs := make([]error, len(work))
+	runChunks(nil, len(work), runtime.GOMAXPROCS(0), func(c int) {
+		i := work[c]
+		shards[i], errs[c] = loadShard(dir, entries[i], open)
+	})
+	var faults []ShardFault
+	for c, err := range errs {
+		if err != nil {
+			faults = append(faults, ShardFault{Info: entries[work[c]], Err: err})
+		}
+	}
+	healthy := shards[:0]
+	loaded := 0
+	for _, sh := range shards {
+		if sh != nil {
+			healthy = append(healthy, sh)
+			loaded++
+		}
+	}
+	loaded -= len(entries) - len(work) // reused shards are not "loaded"
+	return newShardSet(healthy, ShardLoadStats{
+		Loaded: loaded,
+		Reused: len(entries) - len(work),
+	}), faults
+}

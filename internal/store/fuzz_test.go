@@ -139,3 +139,57 @@ func FuzzManifestDecode(f *testing.F) {
 		}
 	})
 }
+
+func fuzzSeedQuarantineLogs() [][]byte {
+	pair := EncodeQuarantineLog([]QuarantineEvent{
+		{Day: 3, Action: ActionQuarantine, Reason: "store: scrub shard-3.supremm: content hash 00000001 does not match manifest 00000002", At: 1700000000, Size: 4096, Hash: 0xdeadbeef},
+		{Day: 3, Action: ActionRepair, Reason: "rebuilt from jobs.supremm", At: 1700000060, Size: 4096, Hash: 0xdeadbeef},
+	})
+	empty := EncodeQuarantineLog(nil)
+	one := EncodeQuarantineLog([]QuarantineEvent{{Day: -7, Action: ActionQuarantine}})
+	seeds := [][]byte{pair, empty, one, {}, pair[:len(pair)-1], pair[:9]}
+
+	flipped := append([]byte(nil), pair...)
+	flipped[len(flipped)/2] ^= 0xff
+	seeds = append(seeds,
+		flipped,
+		// hostile shapes the decoder must reject without panicking
+		[]byte("SUPRMMQ1\n{\"day\":1,\"action\":\"destroy\",\"reason\":\"\",\"at\":0,\"size\":0,\"hash\":0}\n"),
+		[]byte("SUPRMMQ1\n {\"day\":1}\n"),
+		[]byte("SUPRMMQ1\nnull\n"),
+		[]byte("SUPRMMQ2\n"),
+	)
+	return seeds
+}
+
+// FuzzQuarantineRecord hammers the quarantine-log decoder with
+// arbitrary bytes: reject with an error or accept, and every accepted
+// log must re-encode byte-identically (the canonical-line check makes
+// the format a bijection on its valid set) with events honoring the
+// decoder's own invariants. Never panic, never over-allocate from a
+// hostile line count.
+func FuzzQuarantineRecord(f *testing.F) {
+	for _, seed := range fuzzSeedQuarantineLogs() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := DecodeQuarantineLog(data)
+		if err != nil {
+			return
+		}
+		if re := EncodeQuarantineLog(events); !bytes.Equal(re, data) {
+			t.Fatalf("accepted quarantine log does not re-encode to itself (%d events)", len(events))
+		}
+		for i, ev := range events {
+			if ev.Action != ActionQuarantine && ev.Action != ActionRepair {
+				t.Fatalf("event %d: accepted unknown action %q", i, ev.Action)
+			}
+			if ev.Day < -manifestMaxID || ev.Day > manifestMaxID {
+				t.Fatalf("event %d: accepted out-of-range day %d", i, ev.Day)
+			}
+			if ev.Size < 0 {
+				t.Fatalf("event %d: accepted negative size %d", i, ev.Size)
+			}
+		}
+	})
+}

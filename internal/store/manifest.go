@@ -255,14 +255,21 @@ func (s *Store) partitionByEndDay() ([]int64, []*Columns) {
 
 // WriteShardDir writes the store's time-partitioned form into dir: one
 // shard-<epochday>.supremm per job-end day plus MANIFEST.supremm. Each
-// file lands atomically (temp + fsync + rename), shards before the
-// manifest, so a poller never sees a manifest naming a shard that has
-// not landed; shard files from an earlier batch whose day dropped out
-// of the manifest are removed afterwards. Shard content is a pure
-// function of the rows, so rewriting an unchanged day produces
+// file lands atomically (temp + fsync + rename + directory fsync, see
+// AtomicWriteFile), shards before the manifest, so a poller never sees
+// a manifest naming a shard that has not landed; shard files from an
+// earlier batch whose day dropped out of the manifest are removed
+// afterwards, along with any quarantine leftovers (*.quarantined
+// files, the QUARANTINE.supremm log) and orphaned temp files from a
+// killed writer or scrubber — a fresh batch supersedes whatever
+// healing state the previous generation accumulated. Shard content is
+// a pure function of the rows, so rewriting an unchanged day produces
 // byte-identical files (same size, same hash) and the incremental
 // loader reuses the in-memory shard.
 func WriteShardDir(dir string, s *Store) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
 	days, cols := s.partitionByEndDay()
 	entries := make([]ShardInfo, len(days))
 	keep := make(map[string]bool, len(days)+1)
@@ -277,63 +284,43 @@ func WriteShardDir(dir string, s *Store) error {
 			Size:   int64(len(payload)),
 			Hash:   crc32.ChecksumIEEE(payload),
 		}
-		if err := writeShardFileAtomic(dir, name, payload); err != nil {
+		if err := AtomicWriteBytes(dir, name, payload); err != nil {
 			return err
 		}
 		keep[name] = true
 	}
-	if err := writeShardFileAtomic(dir, ManifestFile, EncodeManifest(entries)); err != nil {
+	if err := AtomicWriteBytes(dir, ManifestFile, EncodeManifest(entries)); err != nil {
 		return err
 	}
-	stale, err := filepath.Glob(filepath.Join(dir, "shard-*.supremm"))
-	if err != nil {
-		return err
-	}
-	for _, p := range stale {
-		if !keep[filepath.Base(p)] {
-			if err := os.Remove(p); err != nil {
-				return err
+	return cleanShardDir(dir, keep)
+}
+
+// cleanShardDir removes files superseded by a fresh batch: shard files
+// no longer in the manifest, quarantined shards and the quarantine log
+// from a previous generation, and temp files a killed writer, repair
+// or legacy non-fsyncing ingest left behind. Live temp files cannot be
+// confused with orphans here: every writer in this process renames its
+// temp before WriteShardDir's cleanup runs, and concurrent ingests
+// into one directory are outside the design (the manifest would race
+// regardless).
+func cleanShardDir(dir string, keep map[string]bool) error {
+	for _, pattern := range []string{"shard-*.supremm", "shard-*.supremm" + QuarantineSuffix, ".*.tmp*"} {
+		paths, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			if !keep[filepath.Base(p)] {
+				if err := os.Remove(p); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return nil
-}
-
-// writeShardFileAtomic lands bytes at dir/name via temp + fsync +
-// rename in the same directory — the cmd/ingest discipline, so a
-// polling daemon sees either the old file or the new one, never a
-// half-written shard.
-func writeShardFileAtomic(dir, name string, data []byte) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.Remove(filepath.Join(dir, QuarantineFile)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, "."+name+".tmp*")
-	if err != nil {
-		return err
-	}
-	cleanup := func(err error) error {
-		_ = tmp.Close()
-		_ = os.Remove(tmp.Name())
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		return cleanup(err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return cleanup(err)
-	}
-	if err := tmp.Chmod(0o644); err != nil {
-		return cleanup(err)
-	}
-	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
-		_ = os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return FsyncDir(dir)
 }
 
 // Opener abstracts file opening for shard loads; nil means os.Open.
